@@ -1,0 +1,41 @@
+// Command benchtab regenerates the paper's evaluation artefacts as
+// plain-text tables — one per experiment in DESIGN.md §4.
+//
+// Usage:
+//
+//	benchtab -table all          # every experiment (default)
+//	benchtab -table t2           # Theorem 2 sweep only
+//	benchtab -table t9 -full     # enlarged sweep
+//
+// Table ids: t2..t12 (paper claims), a1..a3 (repository ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"comparisondiag/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "experiment id (t2..t12, a1..a3, or 'all')")
+	full := flag.Bool("full", false, "run the enlarged sweeps (slower)")
+	flag.Parse()
+
+	if strings.EqualFold(*table, "all") {
+		for _, t := range experiments.All(*full) {
+			t.Fprint(os.Stdout)
+		}
+		return
+	}
+	for _, id := range strings.Split(*table, ",") {
+		t, err := experiments.ByID(strings.TrimSpace(id), *full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		t.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,97 @@
+// Command figures regenerates the paper's two structural figures as
+// verified ASCII renderings:
+//
+//	figures -fig 1    Fig. 1 — cycles joined by matchings (Yang's view)
+//	figures -fig 2    Fig. 2 — an extended star (Chiang–Tan's view)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"comparisondiag/internal/baseline"
+	"comparisondiag/internal/topology"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "figure number (1 or 2)")
+	flag.Parse()
+	switch *fig {
+	case 1:
+		figure1()
+	case 2:
+		figure2()
+	default:
+		fmt.Fprintln(os.Stderr, "figures: -fig must be 1 or 2")
+		os.Exit(2)
+	}
+}
+
+// figure1 prints the decomposition of Q5 into four Gray cycles of Q3
+// subcubes, joined by perfect matchings in the shape of Q2 — four
+// cycles connected in the shape of a cycle, exactly the paper's Fig. 1.
+func figure1() {
+	fmt.Println("Fig. 1 — Q5 as 4 node-disjoint Gray cycles of Q3 subcubes,")
+	fmt.Println("joined by perfect matchings in the shape of Q2 (a 4-cycle):")
+	fmt.Println()
+	dec, err := baseline.NewCycleDecomposition(5, 3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for c, cyc := range dec.Cycles {
+		labels := make([]string, len(cyc))
+		for i, u := range cyc {
+			labels[i] = fmt.Sprintf("%05b", u)
+		}
+		fmt.Printf("  cycle %d (subcube %02b): %s -> (wraps)\n", c, c, strings.Join(labels, " -> "))
+	}
+	fmt.Println()
+	fmt.Println("  matchings (dotted edges of Fig. 1):")
+	for c1 := 0; c1 < len(dec.Cycles); c1++ {
+		for c2 := c1 + 1; c2 < len(dec.Cycles); c2++ {
+			m := dec.Matching(c1, c2)
+			if m == nil {
+				continue
+			}
+			fmt.Printf("    cycles %d-%d: %d matched pairs, e.g. %05b—%05b\n",
+				c1, c2, len(m), m[0][0], m[0][1])
+		}
+	}
+	fmt.Println()
+	fmt.Println("  shape of the cycle graph on subcube indices: 00 - 01 - 11 - 10 - 00")
+}
+
+// figure2 prints an extended star rooted at a hypercube node and at a
+// star-graph node, the structure Chiang and Tan's algorithm needs at
+// every node.
+func figure2() {
+	fmt.Println("Fig. 2 — extended stars (root x, n disjoint branches of 4 nodes):")
+	fmt.Println()
+	es, err := baseline.HypercubeExtendedStar(6, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("  Q6 rooted at 000000 (analytic construction):")
+	for i, br := range es.Branches {
+		fmt.Printf("    branch %d: x -> %06b -> %06b -> %06b -> %06b\n",
+			i, br[0], br[1], br[2], br[3])
+	}
+	fmt.Println()
+	st := topology.NewStar(5)
+	es2, err := baseline.FindExtendedStar(st.Graph(), 0, st.Diagnosability())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("  S5 rooted at node 0 (search-based construction):")
+	for i, br := range es2.Branches {
+		fmt.Printf("    branch %d: x -> %d -> %d -> %d -> %d\n",
+			i, br[0], br[1], br[2], br[3])
+	}
+	fmt.Println()
+	fmt.Println("  (only tests by the first three branch nodes are consulted per branch)")
+}

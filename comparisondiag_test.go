@@ -1,0 +1,194 @@
+package comparisondiag
+
+// Integration tests against the public facade: everything a downstream
+// user would touch, wired end to end.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	nw := NewHypercube(8)
+	g := nw.Graph()
+	rng := rand.New(rand.NewSource(1))
+	faults := RandomFaults(g.N(), nw.Diagnosability(), rng)
+	s := NewLazySyndrome(faults, Mimic{})
+	found, stats, err := Diagnose(nw, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found.Equal(faults) {
+		t.Fatalf("got %v want %v", found, faults)
+	}
+	if stats.TotalLookups >= SyndromeTableSize(g) {
+		t.Fatal("facade lost the look-up economy")
+	}
+}
+
+func TestFacadeParseAndDiagnoseEveryFamily(t *testing.T) {
+	specs := []string{
+		"q:7", "cq:7", "tq:7", "fq:7", "eq:7,3", "aq:8", "sq:6", "tnq:7",
+		"kary:3,4", "akary:7,2", "star:6", "nkstar:6,3", "pancake:6", "arr:6,4",
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, spec := range specs {
+		nw, err := ParseNetwork(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		g := nw.Graph()
+		faults := RandomFaults(g.N(), nw.Diagnosability(), rng)
+		s := NewLazySyndrome(faults, Mimic{})
+		found, _, err := Diagnose(nw, s)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if !found.Equal(faults) {
+			t.Fatalf("%s: misdiagnosis", spec)
+		}
+	}
+}
+
+func TestFacadeErrorSentinels(t *testing.T) {
+	nk := NewNKStar(6, 2)
+	s := NewLazySyndrome(NewFaultSet(nk.Graph().N()), nil)
+	_, _, err := Diagnose(nk, s)
+	if !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("want ErrNoPartition, got %v", err)
+	}
+}
+
+func TestFacadeDiagnoseAnyFallsBack(t *testing.T) {
+	nk := NewNKStar(6, 2) // gap G3: no partition
+	g := nk.Graph()
+	rng := rand.New(rand.NewSource(3))
+	faults := RandomFaults(g.N(), nk.Diagnosability(), rng)
+	s := NewLazySyndrome(faults, Mimic{})
+	found, stats, err := DiagnoseAny(nk, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != nil {
+		t.Fatal("fallback path should report nil stats")
+	}
+	if !found.Equal(faults) {
+		t.Fatalf("got %v want %v", found, faults)
+	}
+
+	// And the partition path still reports stats.
+	q := NewHypercube(7)
+	faults2 := RandomFaults(q.Graph().N(), 7, rng)
+	s2 := NewLazySyndrome(faults2, Mimic{})
+	found2, stats2, err := DiagnoseAny(q, s2)
+	if err != nil || stats2 == nil || !found2.Equal(faults2) {
+		t.Fatalf("partition path broken: %v", err)
+	}
+}
+
+// Property: for random fault sets of legal size and arbitrary adversary
+// seeds, diagnosis on Q7 is exact. testing/quick drives the randomness.
+func TestQuickDiagnoseExactness(t *testing.T) {
+	nw := NewHypercube(7)
+	g := nw.Graph()
+	f := func(seed int64, sizeRaw uint8, advSeed uint64) bool {
+		size := int(sizeRaw) % (nw.Diagnosability() + 1)
+		rng := rand.New(rand.NewSource(seed))
+		faults := RandomFaults(g.N(), size, rng)
+		s := NewLazySyndrome(faults, RandomBehavior{Seed: advSeed})
+		found, _, err := Diagnose(nw, s)
+		return err == nil && found.Equal(faults)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the brute-force reference and the fast algorithm agree on
+// a 16-node instance for every fault set quick generates.
+func TestQuickFastMatchesBruteForce(t *testing.T) {
+	nw := NewKAryNCube(4, 2) // 16-node torus, δ = 4, κ = 4
+	g := nw.Graph()
+	delta := 4
+	parts, err := nw.Parts(delta+1, delta+1)
+	if err != nil {
+		t.Skipf("no partition: %v", err)
+	}
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw) % (delta + 1)
+		rng := rand.New(rand.NewSource(seed))
+		faults := RandomFaults(g.N(), size, rng)
+		s := NewLazySyndrome(faults, RandomBehavior{Seed: uint64(seed)})
+		fast, _, err := DiagnoseGraph(g, delta, parts, s, Options{})
+		if err != nil {
+			return false
+		}
+		brute, err := BruteDiagnose(g, s, delta)
+		if err != nil {
+			return false
+		}
+		return fast.Equal(brute) && fast.Equal(faults)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSetBuilderByProductTree(t *testing.T) {
+	// The paper's Conclusions: when the fault set is not a cut, the
+	// algorithm's by-product is a tree spanning the healthy nodes.
+	nw := NewHypercube(7)
+	g := nw.Graph()
+	faults := RandomFaults(g.N(), 7, rand.New(rand.NewSource(9)))
+	s := NewLazySyndrome(faults, Mimic{})
+	seed := int32(0)
+	for faults.Contains(int(seed)) {
+		seed++
+	}
+	r := SetBuilder(g, s, seed, 7, nil)
+	healthyCount := g.N() - faults.Count()
+	if r.U.Count() == healthyCount {
+		// Verify it is a spanning tree of the healthy subgraph: every
+		// non-root member has a parent edge inside U.
+		edges := 0
+		r.U.ForEach(func(i int) bool {
+			if int32(i) != seed {
+				if r.Parent[i] < 0 || !r.U.Contains(int(r.Parent[i])) {
+					t.Fatalf("node %d lacks a tree parent", i)
+				}
+				edges++
+			}
+			return true
+		})
+		if edges != healthyCount-1 {
+			t.Fatalf("tree has %d edges, want %d", edges, healthyCount-1)
+		}
+	}
+}
+
+func TestFacadeCTAndYangAgree(t *testing.T) {
+	n := 7
+	nw := NewHypercube(n)
+	g := nw.Graph()
+	faults := RandomFaults(g.N(), n, rand.New(rand.NewSource(4)))
+	s := NewLazySyndrome(faults, Inverted{})
+
+	ours, _, err := Diagnose(nw, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yang, _, err := YangDiagnose(nw, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starAt := func(x int32) (*ExtendedStar, error) { return HypercubeExtendedStar(n, x) }
+	ct, _, err := CTDiagnose(g, s, starAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ours.Equal(yang) || !ours.Equal(ct) || !ours.Equal(faults) {
+		t.Fatalf("algorithms disagree: ours=%v yang=%v ct=%v truth=%v", ours, yang, ct, faults)
+	}
+}

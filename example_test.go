@@ -1,0 +1,96 @@
+package comparisondiag_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	cd "comparisondiag"
+)
+
+// The basic flow: build a network, obtain a syndrome, recover the
+// fault set exactly.
+func ExampleDiagnose() {
+	nw := cd.NewHypercube(8)
+	faults := cd.FaultSetOf(nw.Graph().N(), []int32{3, 77, 200})
+	s := cd.NewLazySyndrome(faults, cd.Mimic{})
+
+	found, _, err := cd.Diagnose(nw, s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(found)
+	// Output: {3 77 200}
+}
+
+// Networks can be built from compact textual specs, which all the
+// command-line tools share.
+func ExampleParseNetwork() {
+	nw, err := cd.ParseNetwork("kary:4,3")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(nw.Name(), nw.Graph().N(), nw.Diagnosability())
+	// Output: Q^4_3 64 6
+}
+
+// Set_Builder grows a provably healthy set from a healthy seed; its
+// by-product is a spanning tree of the healthy region.
+func ExampleSetBuilder() {
+	nw := cd.NewHypercube(6)
+	faults := cd.FaultSetOf(64, []int32{9, 40})
+	s := cd.NewLazySyndrome(faults, cd.AllZero{})
+
+	r := cd.SetBuilder(nw.Graph(), s, 0, 6, nil)
+	fmt.Println(r.U.Count(), r.U.Contains(9), r.U.Contains(40))
+	// Output: 62 false false
+}
+
+// Instances that cannot satisfy Theorem 1's partition precondition are
+// still diagnosable via verification.
+func ExampleDiagnoseWithVerification() {
+	nk := cd.NewNKStar(6, 2) // N = 30 < (δ+1)²: no partition exists
+	g := nk.Graph()
+	faults := cd.FaultSetOf(g.N(), []int32{2, 19})
+	s := cd.NewLazySyndrome(faults, cd.Inverted{})
+
+	found, err := cd.DiagnoseWithVerification(g, nk.Diagnosability(), s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(found)
+	// Output: {2 19}
+}
+
+// A fault-injection campaign measures behaviour beyond the guarantee:
+// within δ everything is exact; past δ the algorithm refuses loudly.
+func ExampleCampaignSweep() {
+	nw := cd.NewHypercube(7)
+	points := cd.CampaignSweep(nw, cd.CampaignConfig{
+		MinFaults: 7, MaxFaults: 9, Trials: 5, Seed: 1,
+	})
+	for _, p := range points {
+		fmt.Printf("faults=%d exact=%d refused=%d silent=%d\n",
+			p.Faults, p.Exact, p.Refused, p.Silent)
+	}
+	// Output:
+	// faults=7 exact=5 refused=0 silent=0
+	// faults=8 exact=0 refused=5 silent=0
+	// faults=9 exact=0 refused=5 silent=0
+}
+
+// Scheduling the demanded tests into one-port slots shows the paper's
+// Section 6 economy in time units, not just look-up counts.
+func ExampleScheduleTests() {
+	nw := cd.NewHypercube(8)
+	g := nw.Graph()
+	faults := cd.RandomFaults(g.N(), 8, rand.New(rand.NewSource(2)))
+	rec := cd.NewTestRecorder(cd.NewLazySyndrome(faults, cd.Mimic{}))
+	if _, _, err := cd.Diagnose(nw, rec); err != nil {
+		panic(err)
+	}
+
+	demand := cd.ScheduleTests(rec.Tests(), g.N())
+	full := cd.ScheduleTests(cd.FullSyndromeTests(g), g.N())
+	fmt.Println(demand.Rounds() < full.Rounds()/2)
+	// Output: true
+}

@@ -1,0 +1,65 @@
+// Distributed self-diagnosis: the paper's Conclusions propose that the
+// system itself — not an external sequential observer — should compute
+// the diagnosis, and report that a distributed Set_Builder beats a
+// distributed extended-star algorithm. This example runs both protocols
+// on a simulated 256-node hypercube machine and prints the cost ledger.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cd "comparisondiag"
+)
+
+func main() {
+	const n = 8
+	nw := cd.NewHypercube(n)
+	g := nw.Graph()
+	fmt.Printf("machine: %s (%d nodes), up to δ = %d faulty processors\n\n",
+		nw.Name(), g.N(), nw.Diagnosability())
+
+	faults := cd.RandomFaults(g.N(), n, rand.New(rand.NewSource(11)))
+	s := cd.NewLazySyndrome(faults, cd.Mimic{})
+	fmt.Printf("hidden fault set: %v\n\n", faults)
+
+	// The wave needs a certified-healthy initiator; in a deployment the
+	// partition scan runs first (cheap), here we reuse the library's.
+	_, stats, err := cd.Diagnose(nw, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := stats.Seed
+
+	waveF, waveStats, err := cd.RunWave(g, s, seed, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wave Set_Builder   rounds=%-4d messages=%-7d records=%-7d tests=%-6d one-port=%d  exact=%v\n",
+		waveStats.Rounds, waveStats.Messages, waveStats.Records, waveStats.Tests,
+		waveStats.OnePortTime, waveF.Equal(faults))
+
+	stars := make([]*cd.ExtendedStar, g.N())
+	for x := range stars {
+		es, err := cd.HypercubeExtendedStar(n, int32(x))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stars[x] = es
+	}
+	ctF, ctStats, err := cd.RunDistCT(g, s, stars, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dist. Chiang–Tan   rounds=%-4d messages=%-7d records=%-7d tests=%-6d one-port=%d  exact=%v\n",
+		ctStats.Rounds, ctStats.Messages, ctStats.Records, ctStats.Tests,
+		ctStats.OnePortTime, ctF.Equal(faults))
+
+	fmt.Printf("\nwave advantage: %.1fx fewer messages, %.1fx fewer comparison tests\n",
+		float64(ctStats.Messages)/float64(waveStats.Messages),
+		float64(ctStats.Tests)/float64(waveStats.Tests))
+	fmt.Println("(the demand-driven wave is the distributed face of the paper's Section 6 look-up economy)")
+}

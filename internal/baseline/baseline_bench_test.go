@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+func BenchmarkGrayCycle16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(GrayCycle(16)) != 1<<16 {
+			b.Fatal("bad length")
+		}
+	}
+}
+
+func BenchmarkYangDiagnoseQ10(b *testing.B) {
+	nw := topology.NewHypercube(10)
+	F := syndrome.RandomFaults(nw.Graph().N(), 10, rand.New(rand.NewSource(1)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := YangDiagnose(nw, s)
+		if err != nil || !got.Equal(F) {
+			b.Fatal("yang failed")
+		}
+	}
+}
+
+func BenchmarkCTDiagnoseQ8(b *testing.B) {
+	nw := topology.NewHypercube(8)
+	g := nw.Graph()
+	F := syndrome.RandomFaults(g.N(), 8, rand.New(rand.NewSource(2)))
+	starAt := func(x int32) (*ExtendedStar, error) { return HypercubeExtendedStar(8, x) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := syndrome.NewLazy(F, syndrome.Mimic{})
+		got, _, err := CTDiagnose(g, s, starAt)
+		if err != nil || !got.Equal(F) {
+			b.Fatal("ct failed")
+		}
+	}
+}
+
+func BenchmarkFindExtendedStarS6(b *testing.B) {
+	st := topology.NewStar(6)
+	g := st.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindExtendedStar(g, int32(i%g.N()), 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndistinguishableQ5(b *testing.B) {
+	q := topology.NewHypercube(5)
+	adj, err := adjMasks(q.Graph())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate two disjoint masks around the node space.
+		f1 := uint64(0x1F) << uint(i%27)
+		f2 := uint64(0x0F) << uint((i+7)%27)
+		Indistinguishable(adj, f1, f2)
+	}
+}
+
+func BenchmarkDiagnosabilityQ3(b *testing.B) {
+	q := topology.NewHypercube(3)
+	for i := 0; i < b.N; i++ {
+		res, err := Diagnosability(q.Graph(), 3)
+		if err != nil || res.Delta != 2 {
+			b.Fatalf("δ(Q3) should be 2: %v %v", res, err)
+		}
+	}
+}

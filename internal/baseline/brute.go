@@ -1,0 +1,230 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+)
+
+// The exact reference implementations below are restricted to graphs
+// with at most 64 nodes so fault sets fit in one machine word; that is
+// ample for validating the diagnosability claims of [6,14,23,28] on
+// small instances (experiment E10) and for ground-truthing Diagnose.
+
+// adjMasks packs each adjacency list into a 64-bit mask.
+func adjMasks(g *graph.Graph) ([]uint64, error) {
+	if g.N() > 64 {
+		return nil, errors.New("baseline: exact reference limited to ≤ 64 nodes")
+	}
+	adj := make([]uint64, g.N())
+	for u := int32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			adj[u] |= 1 << uint(v)
+		}
+	}
+	return adj, nil
+}
+
+// Indistinguishable reports whether two fault hypotheses admit a common
+// syndrome under the MM model. Only testers outside both sets are
+// constrained; for such a tester u with faulty neighbour sets
+// A = N(u)∩F1 and B = N(u)∩F2, the result vectors differ iff some pair
+// test separates them, which reduces to the O(1) mask conditions below.
+func Indistinguishable(adj []uint64, f1, f2 uint64) bool {
+	union := f1 | f2
+	for u := range adj {
+		if union&(1<<uint(u)) != 0 {
+			continue
+		}
+		a := adj[u] & f1
+		b := adj[u] & f2
+		if a == b {
+			continue
+		}
+		// A pair (v,w) separates F1 from F2 iff v ∈ AΔB and w avoids
+		// the other side: v ∈ A\B with w ∉ B gives results (1, 0).
+		// Such w exists iff |N(u)\B| ≥ 2 (v itself is one member).
+		if a&^b != 0 && bits.OnesCount64(adj[u]&^b) >= 2 {
+			return false
+		}
+		if b&^a != 0 && bits.OnesCount64(adj[u]&^a) >= 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// DiagnosabilityResult carries the exact diagnosability and, when the
+// bound is tight below tMax, a witness pair of indistinguishable fault
+// sets of size ≤ δ+1.
+type DiagnosabilityResult struct {
+	Delta    int
+	Witness1 uint64
+	Witness2 uint64
+}
+
+// Diagnosability computes the exact diagnosability of g (≤ 64 nodes) by
+// exhaustive search up to tMax: the largest t such that no two distinct
+// fault sets of size ≤ t are indistinguishable. Work is parallelised
+// over the candidate larger set.
+func Diagnosability(g *graph.Graph, tMax int) (*DiagnosabilityResult, error) {
+	adj, err := adjMasks(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	for t := 1; t <= tMax; t++ {
+		// Candidate pairs with max(|F1|,|F2|) == t; smaller pairs were
+		// cleared at earlier t. Every F2 of size < t is paired with
+		// every size-t F1; same-size pairs are deduplicated by
+		// requiring F2 < F1 numerically.
+		larger := subsetsOfSize(n, t)
+		var smaller []uint64
+		for s := 0; s < t; s++ {
+			smaller = append(smaller, subsetsOfSize(n, s)...)
+		}
+		found := atomic.Int64{}
+		found.Store(-1)
+		var wit2 atomic.Uint64
+		workers := runtime.GOMAXPROCS(0)
+		var wg sync.WaitGroup
+		next := atomic.Int64{}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(larger)) || found.Load() >= 0 {
+						return
+					}
+					f1 := larger[i]
+					for _, f2 := range smaller {
+						if Indistinguishable(adj, f1, f2) {
+							wit2.Store(f2)
+							found.Store(int64(i))
+							return
+						}
+					}
+					for _, f2 := range larger {
+						if f2 >= f1 {
+							break // size-t masks are ascending
+						}
+						if Indistinguishable(adj, f1, f2) {
+							wit2.Store(f2)
+							found.Store(int64(i))
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if i := found.Load(); i >= 0 {
+			return &DiagnosabilityResult{Delta: t - 1, Witness1: larger[i], Witness2: wit2.Load()}, nil
+		}
+	}
+	return &DiagnosabilityResult{Delta: tMax}, nil
+}
+
+// subsetsOfSize lists all size-s subsets of [0,n) as ascending masks
+// (Gosper's hack).
+func subsetsOfSize(n, s int) []uint64 {
+	if s == 0 {
+		return []uint64{0}
+	}
+	if s > n {
+		return nil
+	}
+	var out []uint64
+	limit := uint64(1) << uint(n)
+	v := uint64(1)<<uint(s) - 1
+	for v < limit {
+		out = append(out, v)
+		c := v & (^v + 1)
+		r := v + c
+		v = (((r ^ v) >> 2) / c) | r
+	}
+	return out
+}
+
+// ErrAmbiguous means more than one fault hypothesis of size ≤ δ is
+// consistent with the syndrome — the graph is not δ-diagnosable, or the
+// true fault set exceeded δ.
+var ErrAmbiguous = errors.New("baseline: syndrome consistent with multiple fault sets")
+
+// ErrNoCandidate means no fault hypothesis of size ≤ δ explains the
+// syndrome.
+var ErrNoCandidate = errors.New("baseline: no consistent fault set of size ≤ δ")
+
+// BruteDiagnose finds, by exhaustive enumeration, every fault set of
+// size ≤ delta consistent with the syndrome and returns the unique one.
+// It is the trusted (if slow) reference the fast algorithms are tested
+// against on small instances.
+func BruteDiagnose(g *graph.Graph, s syndrome.Syndrome, delta int) (*bitset.Set, error) {
+	if g.N() > 64 {
+		return nil, errors.New("baseline: BruteDiagnose limited to ≤ 64 nodes")
+	}
+	var candidates []uint64
+	for size := 0; size <= delta; size++ {
+		for _, f := range subsetsOfSize(g.N(), size) {
+			if consistentMask(g, s, f) {
+				candidates = append(candidates, f)
+				if len(candidates) > 1 {
+					return nil, fmt.Errorf("%w: %#x and %#x", ErrAmbiguous, candidates[0], candidates[1])
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidate
+	}
+	out := bitset.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		if candidates[0]&(1<<uint(u)) != 0 {
+			out.Add(u)
+		}
+	}
+	return out, nil
+}
+
+// consistentMask is syndrome.Consistent specialised to mask hypotheses,
+// with early exit on the first contradiction.
+func consistentMask(g *graph.Graph, s syndrome.Syndrome, f uint64) bool {
+	for u := int32(0); int(u) < g.N(); u++ {
+		if f&(1<<uint(u)) != 0 {
+			continue
+		}
+		adj := g.Neighbors(u)
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				want := 0
+				if f&(1<<uint(adj[i])) != 0 || f&(1<<uint(adj[j])) != 0 {
+					want = 1
+				}
+				if s.Test(u, adj[i], adj[j]) != want {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MaskToSet converts a 64-bit fault mask to a bitset over n nodes.
+func MaskToSet(n int, mask uint64) *bitset.Set {
+	s := bitset.New(n)
+	for u := 0; u < n; u++ {
+		if mask&(1<<uint(u)) != 0 {
+			s.Add(u)
+		}
+	}
+	return s
+}

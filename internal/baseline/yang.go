@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// GrayCycle returns the binary reflected Gray code of m bits as a cyclic
+// Hamiltonian node sequence of Q_m: consecutive entries (including the
+// wrap-around) differ in exactly one bit.
+func GrayCycle(m int) []int32 {
+	n := 1 << uint(m)
+	seq := make([]int32, n)
+	for i := 0; i < n; i++ {
+		seq[i] = int32(i ^ (i >> 1))
+	}
+	return seq
+}
+
+// CycleDecomposition is the Fig. 1 structure: Q_n viewed as 2^{n-m}
+// node-disjoint Hamiltonian cycles of subcubes Q_m, pairwise joined by
+// perfect matchings whenever their subcube indices are adjacent in
+// Q_{n-m}.
+type CycleDecomposition struct {
+	N, M int
+	// Cycles[c] lists the nodes of cycle c in cyclic order; cycle c
+	// covers the subcube whose high n-m bits equal c.
+	Cycles [][]int32
+}
+
+// NewCycleDecomposition builds the decomposition of Q_n into subcube
+// Gray cycles (2 ≤ m ≤ n).
+func NewCycleDecomposition(n, m int) (*CycleDecomposition, error) {
+	if m < 2 || m > n {
+		return nil, errors.New("baseline: cycle decomposition needs 2 ≤ m ≤ n")
+	}
+	gray := GrayCycle(m)
+	d := &CycleDecomposition{N: n, M: m}
+	for c := 0; c < 1<<uint(n-m); c++ {
+		base := int32(c) << uint(m)
+		cyc := make([]int32, len(gray))
+		for i, g := range gray {
+			cyc[i] = base | g
+		}
+		d.Cycles = append(d.Cycles, cyc)
+	}
+	return d, nil
+}
+
+// Matching returns the perfect matching joining cycles c1 and c2, or nil
+// if their subcube indices are not adjacent in Q_{n-m}. Because both
+// cycles use the same Gray order, position i of one cycle is matched
+// with position i of the other along a single hypercube dimension.
+func (d *CycleDecomposition) Matching(c1, c2 int) [][2]int32 {
+	diff := c1 ^ c2
+	if diff == 0 || diff&(diff-1) != 0 {
+		return nil
+	}
+	m := make([][2]int32, len(d.Cycles[c1]))
+	for i := range d.Cycles[c1] {
+		m[i] = [2]int32{d.Cycles[c1][i], d.Cycles[c2][i]}
+	}
+	return m
+}
+
+// YangStats profiles a run of the cycle-decomposition algorithm.
+type YangStats struct {
+	CyclesScanned int   // cycles examined before a fault-free one was found
+	Lookups       int64 // total syndrome look-ups
+}
+
+// ErrNoHealthyCycle means no fault-free cycle was found — with cycles
+// longer than the fault bound and more cycles than faults this cannot
+// happen for a valid syndrome.
+var ErrNoHealthyCycle = errors.New("baseline: no all-zero cycle found (fault bound exceeded?)")
+
+// YangDiagnose reproduces Yang's hypercube fault diagnosis [27]
+// (Section 3 of the paper): decompose Q_n into subcube Gray cycles, find
+// a cycle that is all-zero under the syndrome (hence fault-free, being
+// longer than the fault bound n), and expand outward, using pairs of
+// known-healthy nodes to classify their unknown neighbours across the
+// cycle matchings. Time O(n·2^n) for the scan plus the expansion; the
+// original's bookkeeping is O(n²·2^n), which the benchmark comparison
+// (experiment E9) revisits.
+func YangDiagnose(h *topology.Hypercube, s syndrome.Syndrome) (*bitset.Set, *YangStats, error) {
+	n := h.Dim()
+	g := h.Graph()
+	stats := &YangStats{}
+	start := s.Lookups()
+
+	// Cycle length must exceed the fault bound n: 2^m ≥ n+1. The cycle
+	// count 2^{n-m} must exceed n so a fault-free cycle exists.
+	m := 2
+	for 1<<uint(m) <= n {
+		m++
+	}
+	if 1<<uint(n-m) <= n {
+		return nil, stats, fmt.Errorf("baseline: Q_%d too small for Yang's decomposition (m=%d)", n, m)
+	}
+	dec, err := NewCycleDecomposition(n, m)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Phase 1: find an all-zero cycle. Each node tests its two cycle
+	// neighbours; all zero on a cycle longer than n proves it healthy.
+	healthyCycle := -1
+	for c, cyc := range dec.Cycles {
+		stats.CyclesScanned = c + 1
+		ok := true
+		L := len(cyc)
+		for i := 0; i < L && ok; i++ {
+			prev := cyc[(i-1+L)%L]
+			next := cyc[(i+1)%L]
+			if s.Test(cyc[i], prev, next) == 1 {
+				ok = false
+			}
+		}
+		if ok {
+			healthyCycle = c
+			break
+		}
+	}
+	if healthyCycle == -1 {
+		stats.Lookups = s.Lookups() - start
+		return nil, stats, ErrNoHealthyCycle
+	}
+
+	// Phase 2: expansion. status: 0 unknown, 1 healthy, 2 faulty. Every
+	// known-healthy node y keeps a known-healthy buddy z adjacent to it;
+	// the decisive test s_y(x, z) classifies any unknown neighbour x.
+	status := make([]uint8, g.N())
+	buddy := make([]int32, g.N())
+	cyc := dec.Cycles[healthyCycle]
+	L := len(cyc)
+	queue := make([]int32, 0, g.N())
+	for i, u := range cyc {
+		status[u] = 1
+		buddy[u] = cyc[(i+1)%L]
+		queue = append(queue, u)
+	}
+	for len(queue) > 0 {
+		y := queue[0]
+		queue = queue[1:]
+		z := buddy[y]
+		for _, x := range g.Neighbors(y) {
+			if status[x] != 0 || x == z {
+				continue
+			}
+			if s.Test(y, x, z) == 0 {
+				status[x] = 1
+				buddy[x] = y
+				queue = append(queue, x)
+			} else {
+				status[x] = 2
+			}
+		}
+	}
+
+	faults := bitset.New(g.N())
+	for u, st := range status {
+		if st == 2 {
+			faults.Add(u)
+		}
+	}
+	stats.Lookups = s.Lookups() - start
+	return faults, stats, nil
+}

@@ -1,0 +1,196 @@
+// Package bitset provides a dense, fixed-capacity bit set over node
+// identifiers. It is the workhorse set representation for the diagnosis
+// algorithms: fault sets, visited sets and part masks are all bitsets so
+// membership tests on multi-million-node networks stay allocation-free.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a fixed-capacity bit set. The zero value is unusable; construct
+// with New. Sets of different capacities must not be mixed in binary
+// operations.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a Set able to hold members in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << uint(i&63) }
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << uint(i&63) }
+
+// Contains reports whether i is a member.
+func (s *Set) Contains(i int) bool { return s.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of members.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes all members, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o. The two sets must have
+// equal capacity.
+func (s *Set) CopyFrom(o *Set) {
+	if s.n != o.n {
+		panic("bitset: capacity mismatch")
+	}
+	copy(s.words, o.words)
+}
+
+// Union adds every member of o to s.
+func (s *Set) Union(o *Set) {
+	if s.n != o.n {
+		panic("bitset: capacity mismatch")
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect removes members of s not present in o.
+func (s *Set) Intersect(o *Set) {
+	if s.n != o.n {
+		panic("bitset: capacity mismatch")
+	}
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Subtract removes every member of o from s.
+func (s *Set) Subtract(o *Set) {
+	if s.n != o.n {
+		panic("bitset: capacity mismatch")
+	}
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Equal reports whether s and o hold exactly the same members.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every member of s is also in o.
+func (s *Set) IsSubsetOf(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share at least one member.
+func (s *Set) Intersects(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls f for every member in ascending order. If f returns
+// false iteration stops early.
+func (s *Set) ForEach(f func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi<<6 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the members in ascending order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// Members32 returns the members in ascending order as int32 node ids.
+func (s *Set) Members32() []int32 {
+	out := make([]int32, 0, s.Count())
+	s.ForEach(func(i int) bool { out = append(out, int32(i)); return true })
+	return out
+}
+
+// String renders the set as "{a b c}" for debugging and test failure
+// messages.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FromMembers builds a Set with capacity n containing exactly the given
+// members.
+func FromMembers(n int, members []int32) *Set {
+	s := New(n)
+	for _, m := range members {
+		s.Add(int(m))
+	}
+	return s
+}

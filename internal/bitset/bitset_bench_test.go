@@ -1,0 +1,55 @@
+package bitset
+
+import "testing"
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := i & 0xFFFF
+		s.Add(x)
+		if !s.Contains(x) {
+			b.Fatal("lost member")
+		}
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i += 3 {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x, y := New(1<<16), New(1<<16)
+	for i := 0; i < 1<<16; i += 2 {
+		x.Add(i)
+		y.Add(i + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Union(y)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i += 5 {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.ForEach(func(int) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no members")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("added %d not contained", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 7 {
+		t.Fatalf("remove failed: count=%d", s.Count())
+	}
+}
+
+func TestClearAndClone(t *testing.T) {
+	s := New(100)
+	s.Add(5)
+	s.Add(99)
+	c := s.Clone()
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("clear left members")
+	}
+	if !c.Contains(5) || !c.Contains(99) || c.Count() != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromMembers(64, []int32{1, 2, 3})
+	b := FromMembers(64, []int32{3, 4})
+	u := a.Clone()
+	u.Union(b)
+	if got := u.Members(); len(got) != 4 {
+		t.Fatalf("union = %v", got)
+	}
+	i := a.Clone()
+	i.Intersect(b)
+	if got := i.Members(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("intersect = %v", got)
+	}
+	d := a.Clone()
+	d.Subtract(b)
+	if got := d.Members(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("subtract = %v", got)
+	}
+	if !i.IsSubsetOf(a) || !i.IsSubsetOf(b) {
+		t.Fatal("intersection must be subset of both")
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a and b share 3")
+	}
+	if a.Intersects(FromMembers(64, []int32{10, 11})) {
+		t.Fatal("phantom intersection")
+	}
+}
+
+func TestEqualAndCopyFrom(t *testing.T) {
+	a := FromMembers(50, []int32{7, 13})
+	b := New(50)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("copy not equal")
+	}
+	if a.Equal(New(51)) {
+		t.Fatal("different capacities must not be equal")
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := FromMembers(200, []int32{5, 70, 150})
+	var got []int
+	s.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != 3 || got[0] != 5 || got[1] != 70 || got[2] != 150 {
+		t.Fatalf("order wrong: %v", got)
+	}
+	var n int
+	s.ForEach(func(i int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestMembers32(t *testing.T) {
+	s := FromMembers(10, []int32{9, 0, 4})
+	m := s.Members32()
+	if len(m) != 3 || m[0] != 0 || m[1] != 4 || m[2] != 9 {
+		t.Fatalf("members32 = %v", m)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromMembers(10, []int32{1, 3}).String(); got != "{1 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// Property: Count always equals the number of distinct members added.
+func TestQuickCountMatchesDistinct(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New(1 << 16)
+		distinct := map[uint16]bool{}
+		for _, r := range raw {
+			s.Add(int(r))
+			distinct[r] = true
+		}
+		return s.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A ∪ B) ⊇ A, (A ∩ B) ⊆ A, |A∪B| + |A∩B| = |A| + |B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		a, b := New(512), New(512)
+		for i := 0; i < 512; i++ {
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		u := a.Clone()
+		u.Union(b)
+		x := a.Clone()
+		x.Intersect(b)
+		if !a.IsSubsetOf(u) || !b.IsSubsetOf(u) {
+			t.Fatal("union not superset")
+		}
+		if !x.IsSubsetOf(a) || !x.IsSubsetOf(b) {
+			t.Fatal("intersection not subset")
+		}
+		if u.Count()+x.Count() != a.Count()+b.Count() {
+			t.Fatal("inclusion-exclusion violated")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package campaign runs Monte-Carlo fault-injection campaigns against
+// the diagnosis algorithms. Its purpose is the question the paper's
+// guarantee leaves open: what happens when the number of faults
+// *exceeds* the diagnosability bound δ? The partition procedure then
+// loses its certificate — the interesting distinction is between
+// failing loudly (a typed error) and failing silently (a wrong fault
+// set with no warning), and where each regime begins.
+package campaign
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"comparisondiag/internal/core"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// Outcome classifies one diagnosis attempt.
+type Outcome int
+
+const (
+	// Exact: the returned fault set equals the injected one.
+	Exact Outcome = iota
+	// Refused: the algorithm returned a typed error instead of a guess
+	// (the desired behaviour beyond the guarantee).
+	Refused
+	// Silent: the algorithm returned a wrong fault set without error —
+	// the dangerous regime.
+	Silent
+)
+
+// Point aggregates the outcomes at one fault count.
+type Point struct {
+	Faults  int
+	Trials  int
+	Exact   int
+	Refused int
+	Silent  int
+}
+
+// ExactRate returns the fraction of exact diagnoses.
+func (p Point) ExactRate() float64 { return float64(p.Exact) / float64(p.Trials) }
+
+// SilentRate returns the fraction of silent misdiagnoses.
+func (p Point) SilentRate() float64 { return float64(p.Silent) / float64(p.Trials) }
+
+// Config tunes a sweep.
+type Config struct {
+	// MinFaults..MaxFaults is the sweep range (inclusive).
+	MinFaults, MaxFaults int
+	// Trials per fault count.
+	Trials int
+	// Behavior of faulty testers; nil = the mimic adversary.
+	Behavior syndrome.Behavior
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Workers parallelises trials; ≤ 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Sweep runs the campaign against core.Diagnose on the network.
+func Sweep(nw topology.Network, cfg Config) []Point {
+	if cfg.Behavior == nil {
+		cfg.Behavior = syndrome.Mimic{}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	parts, perr := nw.Parts(delta+1, delta+1)
+
+	var points []Point
+	for f := cfg.MinFaults; f <= cfg.MaxFaults; f++ {
+		p := Point{Faults: f, Trials: cfg.Trials}
+		results := make([]Outcome, cfg.Trials)
+		var wg sync.WaitGroup
+		chunk := (cfg.Trials + cfg.Workers - 1) / cfg.Workers
+		for w := 0; w < cfg.Workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if lo >= cfg.Trials {
+				break
+			}
+			if hi > cfg.Trials {
+				hi = cfg.Trials
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					// Per-trial deterministic seed.
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(f)*1_000_003 + int64(i)))
+					F := syndrome.RandomFaults(g.N(), f, rng)
+					s := syndrome.NewLazy(F, cfg.Behavior)
+					if perr != nil {
+						// No partition: campaign the verification path.
+						got, err := core.DiagnoseWithVerification(g, delta, s)
+						results[i] = classify(got != nil && got.Equal(F), err)
+						continue
+					}
+					got, _, err := core.DiagnoseGraph(g, delta, parts, s, core.Options{})
+					results[i] = classify(got != nil && got.Equal(F), err)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		for _, o := range results {
+			switch o {
+			case Exact:
+				p.Exact++
+			case Refused:
+				p.Refused++
+			default:
+				p.Silent++
+			}
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+func classify(exact bool, err error) Outcome {
+	switch {
+	case err == nil && exact:
+		return Exact
+	case err != nil && isTypedRefusal(err):
+		return Refused
+	case err != nil:
+		// Unexpected error kinds also count as refusals: the caller was
+		// warned.
+		return Refused
+	default:
+		return Silent
+	}
+}
+
+func isTypedRefusal(err error) bool {
+	return errors.Is(err, core.ErrNoHealthyPart) ||
+		errors.Is(err, core.ErrTooManyFaults) ||
+		errors.Is(err, core.ErrNoConsistentCandidate) ||
+		errors.Is(err, topology.ErrNoPartition)
+}

@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"testing"
+
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+func TestSweepWithinGuaranteeIsAlwaysExact(t *testing.T) {
+	nw := topology.NewHypercube(7)
+	points := Sweep(nw, Config{
+		MinFaults: 0,
+		MaxFaults: nw.Diagnosability(),
+		Trials:    10,
+		Seed:      1,
+	})
+	if len(points) != nw.Diagnosability()+1 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Exact != p.Trials {
+			t.Fatalf("%d faults: %d/%d exact, %d refused, %d silent — guarantee violated",
+				p.Faults, p.Exact, p.Trials, p.Refused, p.Silent)
+		}
+		if p.ExactRate() != 1.0 {
+			t.Fatalf("exact rate %f", p.ExactRate())
+		}
+	}
+}
+
+func TestSweepBeyondGuaranteeDegradesGracefully(t *testing.T) {
+	nw := topology.NewHypercube(7)
+	delta := nw.Diagnosability()
+	points := Sweep(nw, Config{
+		MinFaults: delta + 1,
+		MaxFaults: delta + 8,
+		Trials:    20,
+		Seed:      2,
+	})
+	sawNonExact := false
+	for _, p := range points {
+		if p.Exact+p.Refused+p.Silent != p.Trials {
+			t.Fatalf("outcome accounting broken at %d faults", p.Faults)
+		}
+		if p.Exact != p.Trials {
+			sawNonExact = true
+		}
+	}
+	if !sawNonExact {
+		t.Fatal("expected degradation somewhere beyond δ+8? campaign saw none — suspicious")
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	nw := topology.NewKAryNCube(3, 3)
+	cfg := Config{MinFaults: 4, MaxFaults: 8, Trials: 12, Seed: 3}
+	cfg.Workers = 1
+	a := Sweep(nw, cfg)
+	cfg.Workers = 8
+	b := Sweep(nw, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSweepVerificationPathOnGapG3Instance(t *testing.T) {
+	nw := topology.NewNKStar(6, 2) // no partition: verification path
+	points := Sweep(nw, Config{
+		MinFaults: 0,
+		MaxFaults: nw.Diagnosability(),
+		Trials:    4,
+		Seed:      4,
+		Behavior:  syndrome.AllZero{},
+	})
+	for _, p := range points {
+		if p.Exact != p.Trials {
+			t.Fatalf("verification path not exact at %d faults: %+v", p.Faults, p)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"errors"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// DiagnoseAny diagnoses with the best available method: the Theorem 1
+// partition procedure when the network admits one, falling back to the
+// verification-based procedure on gap-G3 instances whose partition
+// precondition is unsatisfiable. Stats is nil when the fallback ran.
+func DiagnoseAny(nw topology.Network, s syndrome.Syndrome) (*bitset.Set, *Stats, error) {
+	faults, stats, err := Diagnose(nw, s)
+	if err == nil {
+		return faults, stats, nil
+	}
+	if errors.Is(err, topology.ErrNoPartition) {
+		faults, verr := DiagnoseWithVerification(nw.Graph(), nw.Diagnosability(), s)
+		if verr != nil {
+			return nil, nil, verr
+		}
+		return faults, nil, nil
+	}
+	return nil, stats, err
+}

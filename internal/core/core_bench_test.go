@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+func BenchmarkSetBuilderQ12(b *testing.B) {
+	nw := topology.NewHypercube(12)
+	g := nw.Graph()
+	F := syndrome.RandomFaults(g.N(), 12, rand.New(rand.NewSource(1)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	seed := int32(0)
+	for F.Contains(int(seed)) {
+		seed++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := SetBuilder(g, s, seed, 12, nil)
+		if r.U.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkCertifyPartQ12(b *testing.B) {
+	nw := topology.NewHypercube(12)
+	g := nw.Graph()
+	parts, err := nw.Parts(13, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	F := syndrome.RandomFaults(g.N(), 12, rand.New(rand.NewSource(2)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	mask := bitset.FromMembers(g.N(), parts[0].Nodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CertifyPart(g, s, parts[0].Nodes, mask)
+	}
+}
+
+func BenchmarkDiagnoseVerificationS62(b *testing.B) {
+	nk := topology.NewNKStar(6, 2)
+	g := nk.Graph()
+	F := syndrome.RandomFaults(g.N(), 5, rand.New(rand.NewSource(3)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := DiagnoseWithVerification(g, 5, s)
+		if err != nil || !got.Equal(F) {
+			b.Fatal("fallback failed")
+		}
+	}
+}

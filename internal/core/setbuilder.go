@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: the
+// Set_Builder algorithm (Section 4) and the partition-based fault
+// diagnosis procedure of Theorem 1, with the look-up economy the paper
+// argues for in Section 6 — syndromes are consulted on demand, never
+// materialised wholesale.
+package core
+
+import (
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+)
+
+// SetBuilderResult carries the outcome of one Set_Builder run.
+type SetBuilderResult struct {
+	// AllHealthy reports that the contributor count exceeded δ, proving
+	// every node of U healthy (the paper's certificate).
+	AllHealthy bool
+	// U is the final set U_r.
+	U *bitset.Set
+	// Parent is the tree function t: Parent[v] is v's parent in T, or
+	// -1 for the root u0 and for nodes outside U. The paper notes this
+	// healthy spanning tree is a reusable by-product.
+	Parent []int32
+	// Contributors is the set C_1 ∪ … ∪ C_r of internal tree nodes.
+	Contributors *bitset.Set
+	// Rounds is r, the number of while-loop iterations that grew U.
+	Rounds int
+	// Lookups is the number of syndrome consultations performed.
+	Lookups int64
+}
+
+// SetBuilder is the paper's Set_Builder(u0) (Section 4.1). It grows
+// U_0 = {u0} ⊆ U_1 ⊆ … by adding a node v when some frontier node u
+// reports s_u(v, t(u)) = 0, recording tree parents t(v) (ties broken
+// towards the least frontier node, matching the paper's fixed ordering),
+// until U stabilises. If the internal-node count ever exceeds delta, all
+// of U is provably healthy and AllHealthy is set.
+//
+// restrict, when non-nil, confines growth to the given node set — the
+// paper's Set_Builder(u0, H) used during the per-part search. The seed
+// u0 must belong to restrict.
+//
+// Complexity: O(Δ·|U_r|) time; at most (Δ-1)(Δ/2 + |U_r| - 1) syndrome
+// look-ups (Section 6): C(Δ,2) for the root's pair scan and at most Δ-1
+// per subsequent tree node.
+func SetBuilder(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set) *SetBuilderResult {
+	n := g.N()
+	res := &SetBuilderResult{
+		U:            bitset.New(n),
+		Parent:       make([]int32, n),
+		Contributors: bitset.New(n),
+	}
+	for i := range res.Parent {
+		res.Parent[i] = -1
+	}
+	res.U.Add(int(u0))
+	start := s.Lookups()
+
+	in := func(v int32) bool {
+		return restrict == nil || restrict.Contains(int(v))
+	}
+
+	// Build U_1: u0 tests unordered pairs of its neighbours; a 0 result
+	// certifies both participants at once.
+	adj := g.Neighbors(u0)
+	var frontier []int32
+	for i := 0; i < len(adj); i++ {
+		if !in(adj[i]) {
+			continue
+		}
+		for j := i + 1; j < len(adj); j++ {
+			if !in(adj[j]) {
+				continue
+			}
+			vi, vj := adj[i], adj[j]
+			if res.U.Contains(int(vi)) && res.U.Contains(int(vj)) {
+				continue
+			}
+			if s.Test(u0, vi, vj) == 0 {
+				for _, v := range [2]int32{vi, vj} {
+					if !res.U.Contains(int(v)) {
+						res.U.Add(int(v))
+						res.Parent[v] = u0
+						frontier = append(frontier, v)
+					}
+				}
+			}
+		}
+	}
+	contribCount := 0
+	if len(frontier) > 0 {
+		res.Contributors.Add(int(u0))
+		contribCount = 1
+		res.Rounds = 1
+	}
+	if contribCount > delta {
+		res.AllHealthy = true
+	}
+
+	// Grow U_i from the frontier U_{i-1} \ U_{i-2}. Frontier nodes are
+	// kept in ascending id order so the first frontier node to admit v
+	// is the least — the paper's t(v) tie-break.
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			tu := res.Parent[u]
+			for _, v := range g.Neighbors(u) {
+				if res.U.Contains(int(v)) || !in(v) {
+					continue
+				}
+				if s.Test(u, v, tu) == 0 {
+					res.U.Add(int(v))
+					res.Parent[v] = u
+					next = append(next, v)
+					if !res.Contributors.Contains(int(u)) {
+						res.Contributors.Add(int(u))
+						contribCount++
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		sortAscending(next)
+		frontier = next
+		res.Rounds++
+		if contribCount > delta {
+			res.AllHealthy = true
+		}
+	}
+	res.Lookups = s.Lookups() - start
+	return res
+}
+
+func sortAscending(a []int32) {
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && a[j-gap] > v; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
+		}
+	}
+}

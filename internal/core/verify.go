@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+)
+
+// ErrNoConsistentCandidate means no candidate fault set of size ≤ δ was
+// consistent with the syndrome — the syndrome was produced by more than
+// δ faults, or the graph is not δ-diagnosable.
+var ErrNoConsistentCandidate = errors.New("core: no consistent fault hypothesis of size ≤ δ found")
+
+// DiagnoseWithVerification solves the fault diagnosis problem without a
+// partition: it seeds Set_Builder at successive nodes, forms the
+// candidate fault set N(U_r), and accepts the first candidate that is
+// fully consistent with the syndrome. Because the true fault set is the
+// unique consistent hypothesis of size ≤ δ on a δ-diagnosable graph, an
+// accepted candidate is exact.
+//
+// Among any δ+1 distinct seeds at least one is healthy, and a healthy
+// seed on a graph with κ ≥ δ yields the true fault set (Theorem 1), so
+// typically only a handful of seeds are tried. Each verification costs a
+// full syndrome sweep, so this is the expensive fallback for instances
+// whose partition precondition is unsatisfiable (gap G3: (n,2)-stars,
+// A_{n,2}, AQ_7, …); prefer Diagnose whenever a partition exists.
+func DiagnoseWithVerification(g *graph.Graph, delta int, s syndrome.Syndrome) (*bitset.Set, error) {
+	for u0 := int32(0); int(u0) < g.N(); u0++ {
+		r := SetBuilder(g, s, u0, delta, nil)
+		cand := g.NeighborsOfSet(r.U)
+		if cand.Count() > delta {
+			continue
+		}
+		if syndrome.Consistent(g, s, cand) {
+			return cand, nil
+		}
+	}
+	return nil, ErrNoConsistentCandidate
+}

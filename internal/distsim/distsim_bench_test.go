@@ -1,0 +1,51 @@
+package distsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparisondiag/internal/baseline"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+func BenchmarkWaveQ10(b *testing.B) {
+	nw := topology.NewHypercube(10)
+	g := nw.Graph()
+	F := syndrome.RandomFaults(g.N(), 10, rand.New(rand.NewSource(1)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	seed := int32(0)
+	for F.Contains(int(seed)) {
+		seed++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := RunWave(g, s, seed, 10000)
+		if err != nil || !got.Equal(F) {
+			b.Fatal("wave failed")
+		}
+	}
+}
+
+func BenchmarkDistCTQ8(b *testing.B) {
+	n := 8
+	nw := topology.NewHypercube(n)
+	g := nw.Graph()
+	stars := make([]*baseline.ExtendedStar, g.N())
+	for x := range stars {
+		es, err := baseline.HypercubeExtendedStar(n, int32(x))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stars[x] = es
+	}
+	F := syndrome.RandomFaults(g.N(), n, rand.New(rand.NewSource(2)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := RunDistCT(g, s, stars, 10000)
+		if err != nil || !got.Equal(F) {
+			b.Fatal("dist-CT failed")
+		}
+	}
+}

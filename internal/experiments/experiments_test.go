@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFprintAlignment(t *testing.T) {
+	tb := &Table{
+		ID:      "TX",
+		Title:   "test table",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"wider-cell", "1"}, {"x", "22"}},
+		Notes:   []string{"a note"},
+	}
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== TX: test table ==") {
+		t.Fatalf("missing header: %q", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Column starts must align between header and rows.
+	hdr := lines[1]
+	row := lines[2]
+	if strings.Index(hdr, "long-column") != strings.Index(row, "1") {
+		t.Fatalf("columns misaligned:\n%s\n%s", hdr, row)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatal("note not rendered")
+	}
+}
+
+func TestByIDKnownAndUnknown(t *testing.T) {
+	if _, err := ByID("nope", false); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	// A fast experiment end-to-end: every row of T11's short mode must
+	// agree with the literature (that is the experiment's assertion).
+	tb, err := ByID("t11", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range tb.Rows {
+		if strings.HasPrefix(row[4], "NO") && !strings.Contains(row[4], "threshold") {
+			t.Fatalf("unexpected disagreement: %v", row)
+		}
+	}
+}
+
+func TestTheorem2RowsAllOK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	tb := Theorem2Hypercubes(false)
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("row failed: %v", row)
+		}
+	}
+}
+
+func TestLookupAccountingBoundsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	tb := LookupAccounting(false)
+	for _, row := range tb.Rows {
+		// total/table must be < 1 by a wide margin (the §6 claim).
+		frac := row[len(row)-1]
+		if strings.HasPrefix(frac, "ERR") {
+			t.Fatalf("row errored: %v", row)
+		}
+		if !strings.HasPrefix(frac, "0.0") {
+			t.Fatalf("look-up economy violated: %v", row)
+		}
+	}
+}
+
+func TestAblationCertificateShowsG1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	tb := AblationCertificate(false)
+	sawFailure, sawRecovery := false, false
+	for _, row := range tb.Rows {
+		if row[1] == "paper δ+1" && strings.Contains(row[3], "G1") {
+			sawFailure = true
+		}
+		if row[1] == "paper 2δ+2" && row[3] == "exact" {
+			sawRecovery = true
+		}
+		if row[1] == "scan" && row[3] != "exact" {
+			t.Fatalf("scan certificate failed: %v", row)
+		}
+	}
+	if !sawFailure || !sawRecovery {
+		t.Fatalf("G1 pattern not observed: failure=%v recovery=%v", sawFailure, sawRecovery)
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"comparisondiag/internal/topology"
+)
+
+// Theorem2Hypercubes regenerates the Theorem 2 claim: fault diagnosis on
+// Q_n in O(n·2^n) = O(Δ·N) time. The "ns/(Δ·N)" column should be
+// roughly flat across the sweep if the bound holds.
+func Theorem2Hypercubes(full bool) *Table {
+	max := 12
+	if full {
+		max = 15
+	}
+	t := &Table{
+		ID:      "T2",
+		Title:   "Theorem 2 — hypercubes Q_n, δ = n faults, O(n·2^n) diagnosis",
+		Columns: scalingColumns,
+	}
+	for n := 7; n <= max; n++ {
+		t.Rows = append(t.Rows, scalingRow(topology.NewHypercube(n), 5, int64(n)))
+	}
+	t.Notes = append(t.Notes, "flat ns/(Δ·N) column ⇒ the O(ΔN) shape of Theorem 2 holds")
+	return t
+}
+
+// Theorem3Variants regenerates Theorem 3: the same algorithm on the
+// seven hypercube variants.
+func Theorem3Variants(full bool) *Table {
+	n := 9
+	if full {
+		n = 11
+	}
+	t := &Table{
+		ID:      "T3",
+		Title:   fmt.Sprintf("Theorem 3 — hypercube variants (dimension ≈ %d), δ faults each", n),
+		Columns: scalingColumns,
+	}
+	odd := n | 1
+	sq := 6
+	if full {
+		sq = 10
+	}
+	for _, nw := range []topology.Network{
+		topology.NewCrossedCube(n),
+		topology.NewTwistedCube(odd),
+		topology.NewFoldedHypercube(n),
+		topology.NewEnhancedHypercube(n, 4),
+		topology.NewAugmentedCube(n),
+		topology.NewShuffleCube(sq),
+		topology.NewTwistedNCube(n),
+	} {
+		t.Rows = append(t.Rows, scalingRow(nw, 5, 3))
+	}
+	t.Notes = append(t.Notes,
+		"AQ_n needs n ≥ 8: below that N < (δ+1)² and the Theorem 1 partition cannot exist (gap G3)")
+	return t
+}
+
+// Theorem4KAry regenerates Theorem 4: k-ary n-cubes, δ = 2n, O(n·k^n).
+func Theorem4KAry(full bool) *Table {
+	t := &Table{
+		ID:      "T4",
+		Title:   "Theorem 4 — k-ary n-cubes Q^k_n, δ = 2n faults, O(n·k^n) diagnosis",
+		Columns: scalingColumns,
+	}
+	grid := [][2]int{{3, 4}, {3, 5}, {4, 3}, {4, 4}, {5, 3}, {6, 3}}
+	if full {
+		grid = append(grid, [2]int{3, 6}, [2]int{4, 5}, [2]int{5, 4}, [2]int{8, 3})
+	}
+	for _, kn := range grid {
+		t.Rows = append(t.Rows, scalingRow(topology.NewKAryNCube(kn[0], kn[1]), 5, int64(kn[0]*10+kn[1])))
+	}
+	// The augmented k-ary n-cube corollary of Theorem 4.
+	t.Rows = append(t.Rows, scalingRow(topology.NewAugmentedKAryNCube(7, 2), 5, 7))
+	t.Rows = append(t.Rows, scalingRow(topology.NewAugmentedKAryNCube(6, 3), 5, 8))
+	t.Notes = append(t.Notes,
+		"last two rows: augmented k-ary n-cubes AQ_{n,k} (corollary in §5.2)",
+		"small AQ_{n,k} such as AQ_{3,4} have N < (δ+1)² and fall to gap G3, like AQ_7")
+	return t
+}
+
+// Theorem5Stars regenerates Theorem 5: (n,k)-stars (and stars as
+// S_{n,n-1}), δ = n-1.
+func Theorem5Stars(full bool) *Table {
+	t := &Table{
+		ID:      "T5",
+		Title:   "Theorem 5 — (n,k)-stars S_{n,k} and stars S_n, δ = n-1 faults",
+		Columns: scalingColumns,
+	}
+	grid := [][2]int{{6, 3}, {7, 3}, {7, 4}, {8, 4}}
+	if full {
+		grid = append(grid, [2]int{9, 4}, [2]int{9, 5}, [2]int{10, 4})
+	}
+	for _, nk := range grid {
+		t.Rows = append(t.Rows, scalingRow(topology.NewNKStar(nk[0], nk[1]), 5, int64(nk[0])))
+	}
+	stars := []int{6, 7}
+	if full {
+		stars = append(stars, 8, 9)
+	}
+	for _, n := range stars {
+		t.Rows = append(t.Rows, scalingRow(topology.NewStar(n), 5, int64(n)))
+	}
+	t.Notes = append(t.Notes,
+		"S_{n,2} is infeasible for Theorem 1 (N = n(n-1) < (δ+1)², gap G3); see T7 notes and DiagnoseWithVerification")
+	return t
+}
+
+// Theorem6Pancakes regenerates Theorem 6: pancake graphs, δ = n-1.
+func Theorem6Pancakes(full bool) *Table {
+	t := &Table{
+		ID:      "T6",
+		Title:   "Theorem 6 — pancake graphs P_n, δ = n-1 faults",
+		Columns: scalingColumns,
+	}
+	max := 7
+	if full {
+		max = 9
+	}
+	for n := 5; n <= max; n++ {
+		t.Rows = append(t.Rows, scalingRow(topology.NewPancake(n), 5, int64(n)))
+	}
+	return t
+}
+
+// Theorem7Arrangements regenerates Theorem 7: arrangement graphs,
+// δ = k(n-k), including the region where the partition precondition is
+// unsatisfiable (the section the paper mis-pasted; gaps G2/G3).
+func Theorem7Arrangements(full bool) *Table {
+	t := &Table{
+		ID:      "T7",
+		Title:   "Theorem 7 — arrangement graphs A_{n,k}, δ = k(n-k) faults",
+		Columns: scalingColumns,
+	}
+	grid := [][2]int{{6, 3}, {6, 4}, {7, 3}, {7, 4}, {7, 5}}
+	if full {
+		grid = append(grid, [2]int{8, 4}, [2]int{8, 5}, [2]int{8, 6})
+	}
+	for _, nk := range grid {
+		t.Rows = append(t.Rows, scalingRow(topology.NewArrangement(nk[0], nk[1]), 4, int64(nk[0])))
+	}
+	// Infeasible region: report the typed failure rather than a number.
+	for _, nk := range [][2]int{{6, 2}, {7, 2}} {
+		nw := topology.NewArrangement(nk[0], nk[1])
+		d := nw.Diagnosability()
+		_, err := nw.Parts(d+1, d+1)
+		status := "unexpectedly feasible"
+		if errors.Is(err, topology.ErrNoPartition) {
+			status = "no partition (G3)"
+		}
+		t.Rows = append(t.Rows, []string{nw.Name(), itoa(nw.Graph().N()), itoa(nw.Graph().MaxDegree()),
+			itoa(d), "-", "-", "-", status})
+	}
+	t.Notes = append(t.Notes,
+		"the paper's §5.2 arrangement 'proof' is a copy of the pancake paragraph (gap G2); the real partition fixes a position suffix",
+		"A_{n,2}: N = n(n-1) < (δ+1)² — Theorem 1 inapplicable (gap G3); use DiagnoseWithVerification")
+	return t
+}

@@ -1,0 +1,202 @@
+// Package graph provides the undirected-graph substrate used to model
+// interconnection networks. Nodes are dense int32 identifiers in [0, N);
+// adjacency is stored in compact slices so that networks with millions of
+// nodes fit comfortably in memory. The package also supplies the exact
+// structural computations the diagnosis theory relies on: connectivity
+// (via Menger/max-flow), articulation points, components and BFS layers.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over nodes 0..N-1. Build one with
+// NewBuilder; a finished Graph is immutable and safe for concurrent
+// readers.
+type Graph struct {
+	n   int
+	adj [][]int32
+	m   int // number of undirected edges
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Neighbors returns the adjacency list of u in ascending order. The
+// caller must not modify the returned slice.
+func (g *Graph) Neighbors(u int32) []int32 { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int32) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum node degree (Δ in the paper).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, a := range g.adj {
+		if len(a) > d {
+			d = len(a)
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum node degree.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for _, a := range g.adj[1:] {
+		if len(a) < d {
+			d = len(a)
+		}
+	}
+	return d
+}
+
+// HasEdge reports whether {u, v} is an edge, by binary search on u's
+// (sorted) adjacency list.
+func (g *Graph) HasEdge(u, v int32) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// IsRegular reports whether every node has degree d.
+func (g *Graph) IsRegular(d int) bool {
+	for _, a := range g.adj {
+		if len(a) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: no self-loops, no duplicate
+// edges, symmetric adjacency, sorted lists. Topology constructors call
+// this in tests to catch wiring mistakes.
+func (g *Graph) Validate() error {
+	for u := int32(0); int(u) < g.n; u++ {
+		a := g.adj[u]
+		for i, v := range a {
+			if v == u {
+				return fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if v < 0 || int(v) >= g.n {
+				return fmt.Errorf("graph: out-of-range neighbour %d of %d", v, u)
+			}
+			if i > 0 && a[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", u)
+			}
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("graph: edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces an immutable Graph. Adding the
+// same undirected edge twice is allowed (deduplicated in Build), which
+// keeps topology constructors simple: they may emit each edge from both
+// endpoints.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a Builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are rejected.
+func (b *Builder) AddEdge(u, v int32) error {
+	if u == v {
+		return errors.New("graph: self-loop")
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return fmt.Errorf("graph: edge %d-%d out of range [0,%d)", u, v, b.n)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; used by topology
+// constructors whose coordinates are correct by construction.
+func (b *Builder) MustAddEdge(u, v int32) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Build deduplicates edges and produces the Graph.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	deg := make([]int32, b.n)
+	m := 0
+	var prev [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e == prev {
+			continue
+		}
+		prev = e
+		deg[e[0]]++
+		deg[e[1]]++
+		m++
+	}
+	flat := make([]int32, 2*m)
+	adj := make([][]int32, b.n)
+	off := 0
+	for u := range adj {
+		adj[u] = flat[off : off : off+int(deg[u])]
+		off += int(deg[u])
+	}
+	prev = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e == prev {
+			continue
+		}
+		prev = e
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for u := range adj {
+		a := adj[u]
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	return &Graph{n: b.n, adj: adj, m: m}
+}
+
+// FromAdjacency builds a Graph directly from an adjacency function: for
+// every node u, neigh(u) must list u's neighbours (order irrelevant,
+// duplicates tolerated). Symmetry is the caller's responsibility and is
+// checked by Validate in tests.
+func FromAdjacency(n int, neigh func(u int32) []int32) *Graph {
+	b := NewBuilder(n)
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range neigh(u) {
+			if u < v {
+				b.MustAddEdge(u, v)
+			} else if v < u {
+				b.MustAddEdge(v, u)
+			} else {
+				panic(fmt.Sprintf("graph: self-loop produced for node %d", u))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomConnectedGraph builds a random connected graph on n nodes: a
+// random spanning tree plus extra random edges.
+func randomConnectedGraph(n int, extraEdges int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(int32(perm[i]), int32(perm[rng.Intn(i)]))
+	}
+	for e := 0; e < extraEdges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.MustAddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Build()
+}
+
+// TestPropertyConnectivityAtMostMinDegree: κ(G) ≤ min degree, always.
+func TestPropertyConnectivityAtMostMinDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 30; iter++ {
+		g := randomConnectedGraph(6+rng.Intn(10), rng.Intn(12), rng)
+		if k := g.VertexConnectivity(); k > g.MinDegree() {
+			t.Fatalf("κ = %d > min degree %d", k, g.MinDegree())
+		}
+	}
+}
+
+// TestPropertyArticulationIffConnectivityOne: for connected graphs with
+// ≥ 3 nodes, κ = 1 exactly when an articulation point exists.
+func TestPropertyArticulationIffConnectivityOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 30; iter++ {
+		g := randomConnectedGraph(5+rng.Intn(8), rng.Intn(8), rng)
+		k := g.VertexConnectivity()
+		cuts := g.ArticulationPoints()
+		if (k == 1) != (len(cuts) > 0) {
+			t.Fatalf("κ = %d but %d articulation points", k, len(cuts))
+		}
+	}
+}
+
+// TestPropertyBFSAdjacentLevels: BFS distances of adjacent nodes differ
+// by at most one.
+func TestPropertyBFSAdjacentLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		g := randomConnectedGraph(8+rng.Intn(12), rng.Intn(16), rng)
+		dist := g.BFSFrom(0, nil)
+		for u := int32(0); int(u) < g.N(); u++ {
+			for _, v := range g.Neighbors(u) {
+				d := dist[u] - dist[v]
+				if d < -1 || d > 1 {
+					t.Fatalf("edge %d-%d spans BFS levels %d and %d", u, v, dist[u], dist[v])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRemovingCutDisconnects: removing a minimum cut (witnessed
+// indirectly) — removing all articulation points from a κ=1 graph must
+// increase the component count.
+func TestPropertyRemovingCutDisconnects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tried := 0
+	for iter := 0; iter < 60 && tried < 10; iter++ {
+		g := randomConnectedGraph(6+rng.Intn(8), rng.Intn(3), rng)
+		cuts := g.ArticulationPoints()
+		if len(cuts) == 0 {
+			continue
+		}
+		tried++
+		// Rebuild without the first articulation point.
+		cut := cuts[0]
+		b := NewBuilder(g.N())
+		for u := int32(0); int(u) < g.N(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if u < v && u != cut && v != cut {
+					b.MustAddEdge(u, v)
+				}
+			}
+		}
+		h := b.Build()
+		// Components excluding the isolated cut node itself.
+		comps := 0
+		for _, c := range h.Components() {
+			if len(c) == 1 && c[0] == cut {
+				continue
+			}
+			comps++
+		}
+		if comps < 2 {
+			t.Fatalf("removing articulation point %d left %d components", cut, comps)
+		}
+	}
+	if tried == 0 {
+		t.Skip("no articulation points sampled")
+	}
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"comparisondiag/internal/bitset"
+)
+
+// BFSFrom returns, for every node, its BFS distance from src, or -1 if
+// unreachable. When restrict is non-nil the traversal is confined to
+// nodes contained in restrict (src must be a member).
+func (g *Graph) BFSFrom(src int32, restrict *bitset.Set) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if restrict != nil && !restrict.Contains(int(src)) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] != -1 {
+				continue
+			}
+			if restrict != nil && !restrict.Contains(int(v)) {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the whole graph is connected (true for the
+// empty and single-node graph).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return g.componentSizeFrom(0, nil) == g.n
+}
+
+// ConnectedWithin reports whether the induced subgraph on the given node
+// set is connected. An empty set counts as connected.
+func (g *Graph) ConnectedWithin(set *bitset.Set) bool {
+	first := -1
+	set.ForEach(func(i int) bool { first = i; return false })
+	if first < 0 {
+		return true
+	}
+	return g.componentSizeFrom(int32(first), set) == set.Count()
+}
+
+func (g *Graph) componentSizeFrom(src int32, restrict *bitset.Set) int {
+	seen := bitset.New(g.n)
+	seen.Add(int(src))
+	queue := []int32{src}
+	size := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if seen.Contains(int(v)) {
+				continue
+			}
+			if restrict != nil && !restrict.Contains(int(v)) {
+				continue
+			}
+			seen.Add(int(v))
+			size++
+			queue = append(queue, v)
+		}
+	}
+	return size
+}
+
+// Components returns the connected components as slices of node ids.
+func (g *Graph) Components() [][]int32 {
+	seen := bitset.New(g.n)
+	var comps [][]int32
+	for s := int32(0); int(s) < g.n; s++ {
+		if seen.Contains(int(s)) {
+			continue
+		}
+		var comp []int32
+		seen.Add(int(s))
+		queue := []int32{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen.Contains(int(v)) {
+					seen.Add(int(v))
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Eccentricity returns the greatest BFS distance from src, or -1 if some
+// node is unreachable.
+func (g *Graph) Eccentricity(src int32) int {
+	dist := g.BFSFrom(src, nil)
+	ecc := 0
+	for _, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// NeighborsOfSet returns the set of nodes outside `set` adjacent to at
+// least one member of `set` — the set N of Theorem 1.
+func (g *Graph) NeighborsOfSet(set *bitset.Set) *bitset.Set {
+	out := bitset.New(g.n)
+	set.ForEach(func(i int) bool {
+		for _, v := range g.adj[i] {
+			if !set.Contains(int(v)) {
+				out.Add(int(v))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ArticulationPoints returns the cut vertices of the graph (Tarjan's
+// low-link algorithm, iterative to survive deep graphs).
+func (g *Graph) ArticulationPoints() []int32 {
+	disc := make([]int32, g.n)
+	low := make([]int32, g.n)
+	parent := make([]int32, g.n)
+	childCnt := make([]int32, g.n)
+	isCut := make([]bool, g.n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := int32(0)
+
+	type frame struct {
+		u  int32
+		ai int // index into adjacency
+	}
+	for s := int32(0); int(s) < g.n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{u: s}}
+		disc[s], low[s] = timer, timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ai < len(g.adj[f.u]) {
+				v := g.adj[f.u][f.ai]
+				f.ai++
+				if disc[v] == -1 {
+					parent[v] = f.u
+					childCnt[f.u]++
+					disc[v], low[v] = timer, timer
+					timer++
+					stack = append(stack, frame{u: v})
+				} else if v != parent[f.u] && disc[v] < low[f.u] {
+					low[f.u] = disc[v]
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				p := parent[f.u]
+				if p != -1 {
+					if low[f.u] < low[p] {
+						low[p] = low[f.u]
+					}
+					if parent[p] != -1 && low[f.u] >= disc[p] {
+						isCut[p] = true
+					}
+				}
+			}
+		}
+		if childCnt[s] > 1 {
+			isCut[s] = true
+		}
+	}
+	var cuts []int32
+	for u, c := range isCut {
+		if c {
+			cuts = append(cuts, int32(u))
+		}
+	}
+	return cuts
+}

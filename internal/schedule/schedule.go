@@ -1,0 +1,212 @@
+// Package schedule models the cost of actually *performing* comparison
+// tests, the concern the paper's Section 6 raises alongside look-up
+// economy: "it might be that any node can only send one message at any
+// time and thus that at least d time units are required in order for a
+// node to send a message to each of its neighbours (with different
+// nodes having to synchronize their messages to avoid conflicts)".
+//
+// A comparison test s_u(v, w) occupies the tester u and both subjects v
+// and w for one time slot (u sends the stimulus, v and w reply). Two
+// tests sharing any participant conflict. Scheduling a test set into
+// conflict-free slots is interval colouring of the conflict graph; the
+// package provides a deterministic greedy scheduler, a participation
+// lower bound, and a recorder that captures exactly which tests a
+// diagnosis algorithm demands.
+package schedule
+
+import (
+	"sort"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+)
+
+// Test is one comparison test: tester U comparing neighbours V and W
+// (V < W canonical).
+type Test struct {
+	U, V, W int32
+}
+
+// canonical normalises the subject order.
+func (t Test) canonical() Test {
+	if t.V > t.W {
+		t.V, t.W = t.W, t.V
+	}
+	return t
+}
+
+// Plan is a conflict-free assignment of tests to time slots.
+type Plan struct {
+	// Slots[i] lists the tests performed in parallel during slot i.
+	Slots [][]Test
+	// Tests is the total number of scheduled tests.
+	Tests int
+}
+
+// Rounds returns the makespan of the plan.
+func (p *Plan) Rounds() int { return len(p.Slots) }
+
+// Validate checks that no two tests in a slot share a participant and
+// that every test's participants are distinct.
+func (p *Plan) Validate(n int) error {
+	busy := bitset.New(n)
+	for si, slot := range p.Slots {
+		busy.Clear()
+		for _, t := range slot {
+			for _, node := range [3]int32{t.U, t.V, t.W} {
+				if busy.Contains(int(node)) {
+					return &ConflictError{Slot: si, Node: node}
+				}
+				busy.Add(int(node))
+			}
+			if t.U == t.V || t.U == t.W || t.V == t.W {
+				return &ConflictError{Slot: si, Node: t.U}
+			}
+		}
+	}
+	return nil
+}
+
+// ConflictError reports a double-booked node in a plan slot.
+type ConflictError struct {
+	Slot int
+	Node int32
+}
+
+// Error implements error.
+func (e *ConflictError) Error() string {
+	return "schedule: node double-booked in a slot"
+}
+
+// LowerBound returns the participation bound on the makespan: no plan
+// can be shorter than the number of tests the busiest node takes part
+// in.
+func LowerBound(tests []Test, n int) int {
+	load := make([]int32, n)
+	for _, t := range tests {
+		load[t.U]++
+		load[t.V]++
+		load[t.W]++
+	}
+	max := int32(0)
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return int(max)
+}
+
+// Greedy builds a plan by first-fit colouring: tests are ordered by the
+// load of their busiest participant (descending — the classical
+// heuristic), then each is placed into the earliest slot where all
+// three participants are free. Deterministic for a given input.
+func Greedy(tests []Test, n int) *Plan {
+	ts := make([]Test, len(tests))
+	for i, t := range tests {
+		ts[i] = t.canonical()
+	}
+	load := make([]int32, n)
+	for _, t := range ts {
+		load[t.U]++
+		load[t.V]++
+		load[t.W]++
+	}
+	key := func(t Test) int32 {
+		m := load[t.U]
+		if load[t.V] > m {
+			m = load[t.V]
+		}
+		if load[t.W] > m {
+			m = load[t.W]
+		}
+		return m
+	}
+	sort.SliceStable(ts, func(i, j int) bool {
+		ki, kj := key(ts[i]), key(ts[j])
+		if ki != kj {
+			return ki > kj
+		}
+		if ts[i].U != ts[j].U {
+			return ts[i].U < ts[j].U
+		}
+		if ts[i].V != ts[j].V {
+			return ts[i].V < ts[j].V
+		}
+		return ts[i].W < ts[j].W
+	})
+
+	plan := &Plan{Tests: len(ts)}
+	var slotBusy []*bitset.Set
+	// firstFree[u] caches the earliest slot at which u may be free, so
+	// the scan below skips slots that cannot work.
+	for _, t := range ts {
+		placed := false
+		for si := 0; si < len(slotBusy); si++ {
+			b := slotBusy[si]
+			if b.Contains(int(t.U)) || b.Contains(int(t.V)) || b.Contains(int(t.W)) {
+				continue
+			}
+			b.Add(int(t.U))
+			b.Add(int(t.V))
+			b.Add(int(t.W))
+			plan.Slots[si] = append(plan.Slots[si], t)
+			placed = true
+			break
+		}
+		if !placed {
+			b := bitset.New(n)
+			b.Add(int(t.U))
+			b.Add(int(t.V))
+			b.Add(int(t.W))
+			slotBusy = append(slotBusy, b)
+			plan.Slots = append(plan.Slots, []Test{t})
+		}
+	}
+	return plan
+}
+
+// Recorder wraps a Syndrome and records each distinct test consulted,
+// in first-consultation order — the demand set of an algorithm run.
+// Not safe for concurrent use (record sequential runs).
+type Recorder struct {
+	inner syndrome.Syndrome
+	seen  map[Test]struct{}
+	tests []Test
+}
+
+// NewRecorder wraps s.
+func NewRecorder(s syndrome.Syndrome) *Recorder {
+	return &Recorder{inner: s, seen: make(map[Test]struct{})}
+}
+
+// Test implements syndrome.Syndrome.
+func (r *Recorder) Test(u, v, w int32) int {
+	t := Test{U: u, V: v, W: w}.canonical()
+	if _, ok := r.seen[t]; !ok {
+		r.seen[t] = struct{}{}
+		r.tests = append(r.tests, t)
+	}
+	return r.inner.Test(u, v, w)
+}
+
+// Lookups implements syndrome.Syndrome.
+func (r *Recorder) Lookups() int64 { return r.inner.Lookups() }
+
+// ResetLookups implements syndrome.Syndrome.
+func (r *Recorder) ResetLookups() { r.inner.ResetLookups() }
+
+// Tests returns the recorded distinct tests in demand order.
+func (r *Recorder) Tests() []Test { return r.tests }
+
+// FullSyndromeTests enumerates the complete test set of g — what a
+// full-table algorithm must have performed before it can run.
+func FullSyndromeTests(g *graph.Graph) []Test {
+	var out []Test
+	syndrome.ForEachTest(g, func(u, v, w int32) bool {
+		out = append(out, Test{U: u, V: v, W: w})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,158 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparisondiag/internal/core"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+func TestGreedyProducesValidPlan(t *testing.T) {
+	// A handful of overlapping tests on 8 nodes.
+	tests := []Test{
+		{0, 1, 2}, {0, 2, 3}, {1, 0, 2}, {4, 5, 6}, {7, 5, 6}, {3, 4, 7},
+	}
+	plan := Greedy(tests, 8)
+	if plan.Tests != len(tests) {
+		t.Fatalf("scheduled %d of %d", plan.Tests, len(tests))
+	}
+	if err := plan.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds() < LowerBound(tests, 8) {
+		t.Fatalf("rounds %d below lower bound %d", plan.Rounds(), LowerBound(tests, 8))
+	}
+}
+
+func TestGreedyDisjointTestsOneSlot(t *testing.T) {
+	tests := []Test{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+	plan := Greedy(tests, 9)
+	if plan.Rounds() != 1 {
+		t.Fatalf("disjoint tests need one slot, got %d", plan.Rounds())
+	}
+}
+
+func TestGreedySharedTesterSerialises(t *testing.T) {
+	// Node 0 participates in every test: the plan must use exactly
+	// #tests slots and the lower bound must agree.
+	tests := []Test{{0, 1, 2}, {0, 3, 4}, {0, 5, 6}}
+	if lb := LowerBound(tests, 7); lb != 3 {
+		t.Fatalf("lower bound %d, want 3", lb)
+	}
+	plan := Greedy(tests, 7)
+	if plan.Rounds() != 3 {
+		t.Fatalf("rounds %d, want 3", plan.Rounds())
+	}
+}
+
+func TestPlanValidateCatchesConflicts(t *testing.T) {
+	p := &Plan{Slots: [][]Test{{{0, 1, 2}, {2, 3, 4}}}}
+	if err := p.Validate(5); err == nil {
+		t.Fatal("conflicting slot accepted")
+	}
+	p = &Plan{Slots: [][]Test{{{0, 1, 1}}}}
+	if err := p.Validate(5); err == nil {
+		t.Fatal("degenerate test accepted")
+	}
+}
+
+func TestRecorderCapturesDemandSet(t *testing.T) {
+	nw := topology.NewHypercube(7)
+	g := nw.Graph()
+	F := syndrome.RandomFaults(g.N(), 7, rand.New(rand.NewSource(1)))
+	rec := NewRecorder(syndrome.NewLazy(F, syndrome.Mimic{}))
+	got, _, err := core.Diagnose(nw, rec)
+	if err != nil || !got.Equal(F) {
+		t.Fatalf("diagnosis failed: %v", err)
+	}
+	tests := rec.Tests()
+	if len(tests) == 0 {
+		t.Fatal("no tests recorded")
+	}
+	// Distinct tests only, and far fewer than the full table.
+	seen := map[Test]bool{}
+	for _, tt := range tests {
+		if tt.V >= tt.W {
+			t.Fatalf("non-canonical test %v", tt)
+		}
+		if seen[tt] {
+			t.Fatalf("duplicate test %v", tt)
+		}
+		seen[tt] = true
+	}
+	if int64(len(tests)) >= syndrome.TableSize(g) {
+		t.Fatal("demand set should be far smaller than the full table")
+	}
+	// The demand set schedules into a valid plan.
+	plan := Greedy(tests, g.N())
+	if err := plan.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandScheduleBeatsFullSyndrome(t *testing.T) {
+	// The §6 claim in scheduling terms: collecting only the on-demand
+	// tests takes far fewer one-port slots than collecting the whole
+	// syndrome.
+	nw := topology.NewHypercube(8)
+	g := nw.Graph()
+	F := syndrome.RandomFaults(g.N(), 8, rand.New(rand.NewSource(2)))
+	rec := NewRecorder(syndrome.NewLazy(F, syndrome.Mimic{}))
+	if _, _, err := core.Diagnose(nw, rec); err != nil {
+		t.Fatal(err)
+	}
+	demand := Greedy(rec.Tests(), g.N())
+	full := Greedy(FullSyndromeTests(g), g.N())
+	if err := demand.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	if demand.Rounds()*2 >= full.Rounds() {
+		t.Fatalf("demand schedule %d rounds vs full %d — expected at least 2x gap",
+			demand.Rounds(), full.Rounds())
+	}
+}
+
+func TestFullSyndromeTestsCount(t *testing.T) {
+	g := topology.NewHypercube(5).Graph()
+	tests := FullSyndromeTests(g)
+	if int64(len(tests)) != syndrome.TableSize(g) {
+		t.Fatalf("enumerated %d, want %d", len(tests), syndrome.TableSize(g))
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	nw := topology.NewHypercube(6)
+	g := nw.Graph()
+	tests := FullSyndromeTests(g)
+	a := Greedy(tests, g.N())
+	b := Greedy(tests, g.N())
+	if a.Rounds() != b.Rounds() {
+		t.Fatal("greedy not deterministic")
+	}
+	for i := range a.Slots {
+		if len(a.Slots[i]) != len(b.Slots[i]) {
+			t.Fatal("slot contents differ")
+		}
+	}
+}
+
+func TestRecorderForwardsResults(t *testing.T) {
+	g := topology.NewHypercube(4).Graph()
+	F := syndrome.RandomFaults(g.N(), 2, rand.New(rand.NewSource(3)))
+	lazy := syndrome.NewLazy(F, syndrome.AllOne{})
+	rec := NewRecorder(lazy)
+	syndrome.ForEachTest(g, func(u, v, w int32) bool {
+		if rec.Test(u, v, w) != lazy.Test(u, v, w) {
+			t.Fatalf("recorder altered result at s_%d(%d,%d)", u, v, w)
+		}
+		return true
+	})
+	if rec.Lookups() != lazy.Lookups() {
+		t.Fatal("lookup forwarding broken")
+	}
+}

@@ -1,0 +1,92 @@
+package syndrome
+
+// Behavior models how a *faulty* tester answers a comparison test. The
+// MM model places no constraint on these answers, so diagnosis
+// algorithms must be correct under every Behavior; the test suite
+// exercises all of the implementations below.
+type Behavior interface {
+	// Result returns the faulty tester u's claimed result for the pair
+	// (v, w) with v < w. truth is the result a healthy tester would
+	// report, supplied so adversaries may imitate it.
+	Result(u, v, w int32, truth int) int
+	// Name identifies the behaviour in benchmark tables.
+	Name() string
+}
+
+// AllZero answers 0 to every test: the faulty tester vouches for
+// everyone, maximally encouraging Set_Builder to grow through faulty
+// regions. This is the default adversary.
+type AllZero struct{}
+
+// Result implements Behavior.
+func (AllZero) Result(u, v, w int32, truth int) int { return 0 }
+
+// Name implements Behavior.
+func (AllZero) Name() string { return "all-zero" }
+
+// AllOne answers 1 to every test: the faulty tester accuses everyone,
+// maximally starving Set_Builder of growth.
+type AllOne struct{}
+
+// Result implements Behavior.
+func (AllOne) Result(u, v, w int32, truth int) int { return 1 }
+
+// Name implements Behavior.
+func (AllOne) Name() string { return "all-one" }
+
+// Mimic answers exactly what a healthy tester would: the faulty node is
+// indistinguishable as a tester and only betrays itself as a test
+// subject. This is the hardest adversary for certification logic.
+type Mimic struct{}
+
+// Result implements Behavior.
+func (Mimic) Result(u, v, w int32, truth int) int { return truth }
+
+// Name implements Behavior.
+func (Mimic) Name() string { return "mimic" }
+
+// Inverted answers the opposite of the truth on every test.
+type Inverted struct{}
+
+// Result implements Behavior.
+func (Inverted) Result(u, v, w int32, truth int) int { return 1 - truth }
+
+// Name implements Behavior.
+func (Inverted) Name() string { return "inverted" }
+
+// Random answers pseudo-randomly but deterministically: the result is a
+// pure function of (Seed, u, v, w), so repeated consultations of the
+// same test agree — a syndrome is a fixed table, not a coin flipped per
+// read.
+type Random struct {
+	Seed uint64
+}
+
+// Result implements Behavior.
+func (r Random) Result(u, v, w int32, truth int) int {
+	x := r.Seed
+	x ^= uint64(uint32(u)) * 0x9E3779B97F4A7C15
+	x = splitmix64(x)
+	x ^= uint64(uint32(v)) * 0xBF58476D1CE4E5B9
+	x = splitmix64(x)
+	x ^= uint64(uint32(w)) * 0x94D049BB133111EB
+	x = splitmix64(x)
+	return int(x & 1)
+}
+
+// Name implements Behavior.
+func (r Random) Name() string { return "random" }
+
+// splitmix64 is the SplitMix64 finaliser, a fast high-quality mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// AllBehaviors returns one instance of every behaviour, for exhaustive
+// correctness sweeps in tests and benchmarks.
+func AllBehaviors(seed uint64) []Behavior {
+	return []Behavior{AllZero{}, AllOne{}, Mimic{}, Inverted{}, Random{Seed: seed}}
+}

@@ -1,0 +1,67 @@
+package syndrome
+
+import (
+	"math/rand"
+	"sort"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+)
+
+// RandomFaults returns a uniformly random fault set of exactly size
+// distinct nodes out of n (Floyd's k-subset sampling, no O(n) scratch).
+func RandomFaults(n, size int, rng *rand.Rand) *bitset.Set {
+	if size > n {
+		panic("syndrome: more faults than nodes")
+	}
+	f := bitset.New(n)
+	for j := n - size; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if f.Contains(t) {
+			f.Add(j)
+		} else {
+			f.Add(t)
+		}
+	}
+	return f
+}
+
+// ClusterFaults returns a fault set of the given size taken from the BFS
+// order around center (center itself excluded): the adversarial
+// placement that concentrates damage and comes closest to building a
+// vertex cut around one region.
+func ClusterFaults(g *graph.Graph, center int32, size int) *bitset.Set {
+	f := bitset.New(g.N())
+	dist := g.BFSFrom(center, nil)
+	order := make([]int32, 0, g.N())
+	for u := 0; u < g.N(); u++ {
+		if dist[u] >= 0 && int32(u) != center {
+			order = append(order, int32(u))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if dist[order[i]] != dist[order[j]] {
+			return dist[order[i]] < dist[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for i := 0; i < size && i < len(order); i++ {
+		f.Add(int(order[i]))
+	}
+	return f
+}
+
+// NeighborhoodFaults makes the neighbourhood of center faulty, truncated
+// to size — the extremal configuration from the paper's diagnosability
+// upper-bound argument (Section 2): F = N(center) is indistinguishable
+// from F ∪ {center} once size reaches the full degree.
+func NeighborhoodFaults(g *graph.Graph, center int32, size int) *bitset.Set {
+	f := bitset.New(g.N())
+	for _, v := range g.Neighbors(center) {
+		if f.Count() >= size {
+			break
+		}
+		f.Add(int(v))
+	}
+	return f
+}

@@ -1,0 +1,132 @@
+// Package syndrome implements the comparison (MM) diagnosis model: test
+// results s_u(v, w) produced by nodes comparing pairs of neighbours.
+//
+// The package deliberately separates *truth* from *testimony*:
+//
+//   - if the tester u is healthy, s_u(v, w) = 0 iff both v and w are
+//     healthy (the model's reliability assumption: a faulty node always
+//     answers incorrectly and two faulty nodes never answer identically);
+//   - if the tester u is faulty, s_u(v, w) is arbitrary — modelled by a
+//     pluggable Behaviour so correctness can be asserted under several
+//     adversaries.
+//
+// Syndromes are served lazily: a test result is computed on demand and
+// every consultation is counted. This mirrors the paper's Section 6
+// argument that Set_Builder consults far fewer entries than the full
+// syndrome table, and lets benchmarks report exact look-up counts.
+package syndrome
+
+import (
+	"sync/atomic"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+)
+
+// Syndrome supplies MM-model test results. Implementations must be safe
+// for concurrent use.
+type Syndrome interface {
+	// Test returns s_u(v, w) ∈ {0, 1}. v and w must be distinct
+	// neighbours of u; the result is symmetric in v and w.
+	Test(u, v, w int32) int
+	// Lookups returns the number of Test invocations since the last
+	// ResetLookups.
+	Lookups() int64
+	// ResetLookups zeroes the look-up counter.
+	ResetLookups()
+}
+
+// Lazy is a Syndrome computed on demand from a fault set and a faulty-
+// tester Behaviour.
+type Lazy struct {
+	faults   *bitset.Set
+	behavior Behavior
+	lookups  atomic.Int64
+}
+
+// NewLazy builds a lazy syndrome for the given fault set. behavior
+// governs answers of faulty testers; nil defaults to AllZero (the
+// adversary that maximally imitates health).
+func NewLazy(faults *bitset.Set, behavior Behavior) *Lazy {
+	if behavior == nil {
+		behavior = AllZero{}
+	}
+	return &Lazy{faults: faults, behavior: behavior}
+}
+
+// Test implements Syndrome.
+func (l *Lazy) Test(u, v, w int32) int {
+	l.lookups.Add(1)
+	if v > w {
+		v, w = w, v
+	}
+	truth := 0
+	if l.faults.Contains(int(v)) || l.faults.Contains(int(w)) {
+		truth = 1
+	}
+	if !l.faults.Contains(int(u)) {
+		return truth
+	}
+	return l.behavior.Result(u, v, w, truth)
+}
+
+// Lookups implements Syndrome.
+func (l *Lazy) Lookups() int64 { return l.lookups.Load() }
+
+// ResetLookups implements Syndrome.
+func (l *Lazy) ResetLookups() { l.lookups.Store(0) }
+
+// Faults exposes the underlying fault set (read-only use).
+func (l *Lazy) Faults() *bitset.Set { return l.faults }
+
+// ForEachTest enumerates every test of the complete syndrome table of g:
+// for each node u and each unordered pair {v, w} of its neighbours it
+// calls f(u, v, w) with v < w. It returns early if f returns false.
+// The total number of enumerated tests is Σ_u C(deg(u), 2).
+func ForEachTest(g *graph.Graph, f func(u, v, w int32) bool) {
+	for u := int32(0); int(u) < g.N(); u++ {
+		adj := g.Neighbors(u)
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				if !f(u, adj[i], adj[j]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// TableSize returns the number of entries in the complete syndrome table
+// of g: Σ_u C(deg(u), 2). This is the quantity a full-table algorithm
+// (such as Chiang–Tan's) must materialise and consult.
+func TableSize(g *graph.Graph) int64 {
+	var total int64
+	for u := int32(0); int(u) < g.N(); u++ {
+		d := int64(g.Degree(u))
+		total += d * (d - 1) / 2
+	}
+	return total
+}
+
+// Consistent reports whether the fault-set hypothesis F is consistent
+// with the syndrome s on graph g: every test by a node outside F must
+// equal the truth implied by F. (Tests by members of F are arbitrary
+// under the model and impose no constraint.)
+func Consistent(g *graph.Graph, s Syndrome, F *bitset.Set) bool {
+	ok := true
+	ForEachTest(g, func(u, v, w int32) bool {
+		if F.Contains(int(u)) {
+			return true
+		}
+		want := 0
+		if F.Contains(int(v)) || F.Contains(int(w)) {
+			want = 1
+		}
+		if s.Test(u, v, w) != want {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

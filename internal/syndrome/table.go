@@ -1,0 +1,87 @@
+package syndrome
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"comparisondiag/internal/graph"
+)
+
+// Table is a fully materialised syndrome: every entry s_u(v, w) stored as
+// one bit. Building a Table consults the complete syndrome of the source,
+// which is exactly the cost a full-table algorithm (Chiang–Tan, Yang)
+// pays and the paper's Section 6 argues Set_Builder avoids.
+type Table struct {
+	g       *graph.Graph
+	offsets []int64 // bit offset of node u's pair block
+	bits    []uint64
+	entries int64
+	lookups atomic.Int64
+}
+
+// BuildTable materialises the complete syndrome table of g from src.
+// Every entry is read from src exactly once (so src's look-up counter
+// advances by TableSize(g)).
+func BuildTable(g *graph.Graph, src Syndrome) *Table {
+	t := &Table{g: g, offsets: make([]int64, g.N()+1)}
+	var off int64
+	for u := 0; u < g.N(); u++ {
+		t.offsets[u] = off
+		d := int64(g.Degree(int32(u)))
+		off += d * (d - 1) / 2
+	}
+	t.offsets[g.N()] = off
+	t.entries = off
+	t.bits = make([]uint64, (off+63)/64)
+	for u := int32(0); int(u) < g.N(); u++ {
+		adj := g.Neighbors(u)
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				if src.Test(u, adj[i], adj[j]) == 1 {
+					b := t.offsets[u] + pairIndex(len(adj), i, j)
+					t.bits[b>>6] |= 1 << uint(b&63)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// pairIndex maps the ordered pair of adjacency indices (i < j) within a
+// degree-d node to its rank in the lexicographic enumeration of pairs.
+func pairIndex(d, i, j int) int64 {
+	return int64(i)*(2*int64(d)-int64(i)-1)/2 + int64(j-i-1)
+}
+
+// Test implements Syndrome by direct bit lookup.
+func (t *Table) Test(u, v, w int32) int {
+	t.lookups.Add(1)
+	adj := t.g.Neighbors(u)
+	i := neighborIndex(adj, v)
+	j := neighborIndex(adj, w)
+	if i > j {
+		i, j = j, i
+	}
+	b := t.offsets[u] + pairIndex(len(adj), i, j)
+	if t.bits[b>>6]&(1<<uint(b&63)) != 0 {
+		return 1
+	}
+	return 0
+}
+
+func neighborIndex(adj []int32, v int32) int {
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	if i >= len(adj) || adj[i] != v {
+		panic("syndrome: Test argument is not a neighbour of the tester")
+	}
+	return i
+}
+
+// Lookups implements Syndrome.
+func (t *Table) Lookups() int64 { return t.lookups.Load() }
+
+// ResetLookups implements Syndrome.
+func (t *Table) ResetLookups() { t.lookups.Store(0) }
+
+// Entries returns the number of stored test results, Σ_u C(deg(u), 2).
+func (t *Table) Entries() int64 { return t.entries }

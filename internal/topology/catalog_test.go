@@ -1,0 +1,35 @@
+package topology
+
+import "testing"
+
+// TestCatalogExamplesParse: every catalogued example spec must build,
+// and its spec prefix must round-trip through Parse.
+func TestCatalogExamplesParse(t *testing.T) {
+	if len(Catalog()) != 14 {
+		t.Fatalf("catalog lists %d families, the paper has 14", len(Catalog()))
+	}
+	for _, fam := range Catalog() {
+		nw, err := Parse(fam.Example)
+		if err != nil {
+			t.Errorf("%s: example %q does not parse: %v", fam.Name, fam.Example, err)
+			continue
+		}
+		if nw.Graph().N() == 0 {
+			t.Errorf("%s: empty graph", fam.Name)
+		}
+		if nw.Diagnosability() < 1 || nw.Connectivity() < nw.Diagnosability() {
+			t.Errorf("%s: κ=%d < δ=%d", fam.Name, nw.Connectivity(), nw.Diagnosability())
+		}
+	}
+}
+
+// TestCatalogFieldsNonEmpty keeps the documentation honest.
+func TestCatalogFieldsNonEmpty(t *testing.T) {
+	for _, fam := range Catalog() {
+		if fam.Spec == "" || fam.Name == "" || fam.Params == "" ||
+			fam.DegreeFormula == "" || fam.KappaFormula == "" ||
+			fam.DeltaFormula == "" || fam.Reference == "" || fam.Example == "" {
+			t.Errorf("catalog entry %q has empty fields", fam.Spec)
+		}
+	}
+}

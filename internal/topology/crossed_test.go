@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestCrossedNeighborInvolution: the level-l neighbour map must be an
+// involution (the graph is undirected by construction, not by accident).
+func TestCrossedNeighborInvolution(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		N := int32(1) << uint(n)
+		for u := int32(0); u < N; u++ {
+			for l := 0; l < n; l++ {
+				v := crossedNeighbor(u, l)
+				if v == u {
+					t.Fatalf("n=%d: self-loop at %d level %d", n, u, l)
+				}
+				if back := crossedNeighbor(v, l); back != u {
+					t.Fatalf("n=%d: neighbour map not involutive at %d level %d (%d -> %d)", n, u, l, v, back)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossedPrefixRecursion: the half of CQ_n with the top bit fixed
+// must induce CQ_{n-1} exactly — the property the partition relies on.
+func TestCrossedPrefixRecursion(t *testing.T) {
+	big := NewCrossedCube(6).Graph()
+	small := NewCrossedCube(5).Graph()
+	half := int32(32)
+	for u := int32(0); u < half; u++ {
+		for v := u + 1; v < half; v++ {
+			if small.HasEdge(u, v) != big.HasEdge(u, v) {
+				t.Fatalf("lower half disagrees with CQ5 at (%d,%d)", u, v)
+			}
+			if small.HasEdge(u, v) != big.HasEdge(half+u, half+v) {
+				t.Fatalf("upper half disagrees with CQ5 at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+// TestCrossedCubeDiameter: the crossed cube's signature property is the
+// halved diameter ⌈(n+1)/2⌉ [12].
+func TestCrossedCubeDiameter(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		g := NewCrossedCube(n).Graph()
+		want := (n + 2) / 2 // ⌈(n+1)/2⌉
+		diam := 0
+		// Eccentricity from a sample of nodes; crossed cubes are not
+		// node-transitive, so scan all nodes for small n.
+		for u := int32(0); int(u) < g.N(); u++ {
+			if e := g.Eccentricity(u); e > diam {
+				diam = e
+			}
+		}
+		if diam != want {
+			t.Fatalf("diameter(CQ%d) = %d, want %d", n, diam, want)
+		}
+	}
+}
+
+// TestCrossedPairRelation pins the pair map on the four 2-bit values.
+func TestCrossedPairRelation(t *testing.T) {
+	// Pair-related pairs: (00,00), (10,10), (01,11), (11,01). The map
+	// flips bit 1 exactly when bit 0 is set. Level-2 neighbour of u
+	// applies it to pair (1,0).
+	cases := map[int32]int32{
+		0b000: 0b100, // pair 00 stays
+		0b010: 0b110, // pair 10 stays
+		0b001: 0b111, // pair 01 becomes 11
+		0b011: 0b101, // pair 11 becomes 01
+	}
+	for u, want := range cases {
+		if got := crossedNeighbor(u, 2); got != want {
+			t.Fatalf("level-2 neighbour of %03b = %03b, want %03b", u, got, want)
+		}
+	}
+}
+
+// Property: neighbours at level l agree above l and differ at l.
+func TestQuickCrossedLevelStructure(t *testing.T) {
+	n := 9
+	f := func(raw uint16, lRaw uint8) bool {
+		u := int32(raw) & (1<<uint(n) - 1)
+		l := int(lRaw) % n
+		v := crossedNeighbor(u, l)
+		highMask := int32(-1) << uint(l+1)
+		if (u^v)&highMask != 0 {
+			return false // must agree above l
+		}
+		return (u^v)&(1<<uint(l)) != 0 // must differ at l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

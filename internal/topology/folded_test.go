@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestFoldedDiameterHalved: FQ_n's signature property — complement
+// edges halve the diameter to ⌈n/2⌉ [3].
+func TestFoldedDiameterHalved(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		g := NewFoldedHypercube(n).Graph()
+		want := (n + 1) / 2
+		if e := g.Eccentricity(0); e != want {
+			t.Fatalf("diameter(FQ%d) = %d, want %d", n, e, want)
+		}
+	}
+}
+
+// TestFoldedEdgeShape: every edge flips one bit or all bits.
+func TestFoldedEdgeShape(t *testing.T) {
+	n := 7
+	g := NewFoldedHypercube(n).Graph()
+	for u := int32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			d := bits.OnesCount32(uint32(u ^ v))
+			if d != 1 && d != n {
+				t.Fatalf("edge %d-%d flips %d bits", u, v, d)
+			}
+		}
+	}
+}
+
+// TestFoldedEdgeCount: exactly 2^{n-1} complement edges on top of Q_n.
+func TestFoldedEdgeCount(t *testing.T) {
+	n := 6
+	g := NewFoldedHypercube(n).Graph()
+	base := NewHypercube(n).Graph()
+	if got, want := g.M(), base.M()+(1<<uint(n-1)); got != want {
+		t.Fatalf("M(FQ%d) = %d, want %d", n, got, want)
+	}
+}
+
+// TestEnhancedEdgeShape: Q_{n,f} edges flip one bit or exactly the f
+// high bits.
+func TestEnhancedEdgeShape(t *testing.T) {
+	n, f := 7, 3
+	g := NewEnhancedHypercube(n, f).Graph()
+	mask := int32(((1 << uint(f)) - 1) << uint(n-f))
+	for u := int32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			x := u ^ v
+			if bits.OnesCount32(uint32(x)) != 1 && x != mask {
+				t.Fatalf("edge %d-%d flips %032b", u, v, x)
+			}
+		}
+	}
+}
+
+// TestEnhancedContainsHypercube: Q_n is a spanning subgraph of Q_{n,f},
+// the property Theorem 3 uses.
+func TestEnhancedContainsHypercube(t *testing.T) {
+	n := 6
+	e := NewEnhancedHypercube(n, 4).Graph()
+	q := NewHypercube(n).Graph()
+	for u := int32(0); int(u) < q.N(); u++ {
+		for _, v := range q.Neighbors(u) {
+			if !e.HasEdge(u, v) {
+				t.Fatalf("enhanced cube lost hypercube edge %d-%d", u, v)
+			}
+		}
+	}
+}
+
+// TestEnhancedRejectsBadParams documents the constructor contract.
+func TestEnhancedRejectsBadParams(t *testing.T) {
+	for _, bad := range [][2]int{{4, 1}, {4, 5}, {1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Q(%d,%d) accepted", bad[0], bad[1])
+				}
+			}()
+			NewEnhancedHypercube(bad[0], bad[1])
+		}()
+	}
+}

@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"fmt"
+
+	"comparisondiag/internal/graph"
+)
+
+// Hypercube is the n-dimensional hypercube Q_n: nodes are bit-strings of
+// length n, edges join strings at Hamming distance 1. Degree n,
+// connectivity n, diagnosability n for n ≥ 5 [23].
+type Hypercube struct {
+	n int
+	g *graph.Graph
+}
+
+// NewHypercube constructs Q_n (n ≥ 2).
+func NewHypercube(n int) *Hypercube {
+	if n < 2 {
+		panic("topology: hypercube needs n ≥ 2")
+	}
+	N := 1 << uint(n)
+	g := graph.FromAdjacency(N, func(u int32) []int32 {
+		out := make([]int32, 0, n)
+		for b := 0; b < n; b++ {
+			out = append(out, u^int32(1<<uint(b)))
+		}
+		return out
+	})
+	return &Hypercube{n: n, g: g}
+}
+
+// Name implements Network.
+func (h *Hypercube) Name() string { return fmt.Sprintf("Q%d", h.n) }
+
+// Dim returns n.
+func (h *Hypercube) Dim() int { return h.n }
+
+// Graph implements Network.
+func (h *Hypercube) Graph() *graph.Graph { return h.g }
+
+// Connectivity implements Network: κ(Q_n) = n.
+func (h *Hypercube) Connectivity() int { return h.n }
+
+// Diagnosability implements Network: δ(Q_n) = n for n ≥ 5 [23].
+func (h *Hypercube) Diagnosability() int { return h.n }
+
+// Parts implements Network. A part is a subcube Q_m obtained by fixing
+// the high n-m bits, so parts are contiguous id ranges. The smallest m
+// meeting minSize is used, provided enough parts remain; when powers of
+// two cannot meet both bounds, parts are padded with donated edges.
+func (h *Hypercube) Parts(minSize, minCount int) ([]Part, error) {
+	return binaryCubeParts(h.g, h.n, 2, minSize, minCount)
+}
+
+// binaryCubeParts enumerates the subcube granularities (fixing the high
+// n-m bits for m ≥ minDim) shared by every binary-cube variant: in all
+// of them this induces a connected sub-network with minimum degree ≥ 2.
+// Selection and padding fall to chooseParts.
+func binaryCubeParts(g *graph.Graph, n, minDim, minSize, minCount int) ([]Part, error) {
+	var levels []granularity
+	for m := minDim; m < n; m++ {
+		size := 1 << uint(m)
+		count := 1 << uint(n-m)
+		levels = append(levels, granularity{size, count, func() []Part {
+			return rangeParts(1<<uint(n), size)
+		}})
+	}
+	return chooseParts(g, levels, minSize, minCount)
+}

@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// TestHypercubeDistanceIsHamming pins the defining metric property: BFS
+// distance in Q_n equals Hamming distance.
+func TestHypercubeDistanceIsHamming(t *testing.T) {
+	q := NewHypercube(8)
+	g := q.Graph()
+	dist := g.BFSFrom(0, nil)
+	for u := 0; u < g.N(); u++ {
+		if int(dist[u]) != bits.OnesCount32(uint32(u)) {
+			t.Fatalf("dist(0,%d) = %d, want %d", u, dist[u], bits.OnesCount32(uint32(u)))
+		}
+	}
+}
+
+func TestHypercubeDiameter(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		if e := NewHypercube(n).Graph().Eccentricity(0); e != n {
+			t.Fatalf("diameter(Q%d) = %d, want %d", n, e, n)
+		}
+	}
+}
+
+// TestHypercubeBipartite: Q_n is bipartite (no odd cycles), checked via
+// 2-colouring by parity.
+func TestHypercubeBipartite(t *testing.T) {
+	g := NewHypercube(6).Graph()
+	for u := int32(0); int(u) < g.N(); u++ {
+		pu := bits.OnesCount32(uint32(u)) & 1
+		for _, v := range g.Neighbors(u) {
+			if bits.OnesCount32(uint32(v))&1 == pu {
+				t.Fatalf("edge %d-%d within a parity class", u, v)
+			}
+		}
+	}
+}
+
+// TestHypercubeSubcubeRanges: each Parts range must induce Q_m exactly.
+func TestHypercubeSubcubeRanges(t *testing.T) {
+	q := NewHypercube(8)
+	parts, err := q.Parts(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewHypercube(4).Graph()
+	g := q.Graph()
+	for _, p := range parts[:3] {
+		base := p.Nodes[0]
+		for i := int32(0); i < 16; i++ {
+			for j := i + 1; j < 16; j++ {
+				want := ref.HasEdge(i, j)
+				got := g.HasEdge(base+i, base+j)
+				if want != got {
+					t.Fatalf("part at %d: edge (%d,%d) mismatch", base, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Property: the edge relation is symmetric and flips exactly one bit.
+func TestQuickHypercubeEdgeShape(t *testing.T) {
+	g := NewHypercube(10).Graph()
+	f := func(raw uint16) bool {
+		u := int32(raw) & 1023
+		for _, v := range g.Neighbors(u) {
+			if bits.OnesCount32(uint32(u^v)) != 1 {
+				return false
+			}
+			if !g.HasEdge(v, u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// leeDistance is the torus metric: per-digit wrap-around distance.
+func leeDistance(k, n int, a, b int32) int {
+	d := 0
+	for i := 0; i < n; i++ {
+		da, db := int(a%int32(k)), int(b%int32(k))
+		a /= int32(k)
+		b /= int32(k)
+		diff := da - db
+		if diff < 0 {
+			diff = -diff
+		}
+		if k-diff < diff {
+			diff = k - diff
+		}
+		d += diff
+	}
+	return d
+}
+
+// TestKAryDistanceIsLee pins the metric: BFS distance in Q^k_n equals
+// Lee distance [5].
+func TestKAryDistanceIsLee(t *testing.T) {
+	for _, kn := range [][2]int{{3, 3}, {5, 2}, {4, 3}} {
+		k, n := kn[0], kn[1]
+		g := NewKAryNCube(k, n).Graph()
+		dist := g.BFSFrom(0, nil)
+		for u := 0; u < g.N(); u++ {
+			if int(dist[u]) != leeDistance(k, n, 0, int32(u)) {
+				t.Fatalf("Q^%d_%d: dist(0,%d) = %d, want %d", k, n, u, dist[u],
+					leeDistance(k, n, 0, int32(u)))
+			}
+		}
+	}
+}
+
+// TestKAryDiameter: diameter = n·⌊k/2⌋.
+func TestKAryDiameter(t *testing.T) {
+	for _, kn := range [][2]int{{3, 3}, {4, 2}, {5, 2}, {6, 2}} {
+		k, n := kn[0], kn[1]
+		g := NewKAryNCube(k, n).Graph()
+		if e := g.Eccentricity(0); e != n*(k/2) {
+			t.Fatalf("diameter(Q^%d_%d) = %d, want %d", k, n, e, n*(k/2))
+		}
+	}
+}
+
+// TestKAryPrefixRecursion: fixing the high digit of Q^k_n yields k
+// copies of Q^k_{n-1}.
+func TestKAryPrefixRecursion(t *testing.T) {
+	k := 4
+	big := NewKAryNCube(k, 3).Graph()
+	small := NewKAryNCube(k, 2).Graph()
+	size := int32(16)
+	for c := int32(0); c < int32(k); c++ {
+		base := c * size
+		for u := int32(0); u < size; u++ {
+			for v := u + 1; v < size; v++ {
+				if small.HasEdge(u, v) != big.HasEdge(base+u, base+v) {
+					t.Fatalf("copy %d disagrees at (%d,%d)", c, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestAugmentedKArySpansTorus: AQ_{n,k} contains Q^k_n as a spanning
+// subgraph — the property the Theorem 4 corollary uses.
+func TestAugmentedKArySpansTorus(t *testing.T) {
+	k, n := 5, 2
+	aug := NewAugmentedKAryNCube(k, n).Graph()
+	torus := NewKAryNCube(k, n).Graph()
+	for u := int32(0); int(u) < torus.N(); u++ {
+		for _, v := range torus.Neighbors(u) {
+			if !aug.HasEdge(u, v) {
+				t.Fatalf("augmented cube lost torus edge %d-%d", u, v)
+			}
+		}
+	}
+}
+
+// TestAugmentedKAryRunEdges: node 0 of AQ_{2,k} must reach (1,1) and
+// (k-1,k-1) via the ±(1,1) run edges.
+func TestAugmentedKAryRunEdges(t *testing.T) {
+	k := 5
+	g := NewAugmentedKAryNCube(k, 2).Graph()
+	plus := int32(1 + k)            // (1,1)
+	minus := int32(k - 1 + (k-1)*k) // (k-1, k-1)
+	if !g.HasEdge(0, plus) {
+		t.Fatalf("missing +run edge 0-%d", plus)
+	}
+	if !g.HasEdge(0, minus) {
+		t.Fatalf("missing -run edge 0-%d", minus)
+	}
+}
+
+// Property: k-ary edges change exactly one digit by ±1 (mod k).
+func TestQuickKAryEdgeShape(t *testing.T) {
+	k, n := 6, 3
+	g := NewKAryNCube(k, n).Graph()
+	f := func(raw uint16) bool {
+		u := int32(raw) % int32(g.N())
+		for _, v := range g.Neighbors(u) {
+			if leeDistance(k, n, u, v) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValidSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		n    int
+	}{
+		{"q:6", "Q6", 64},
+		{"hypercube:6", "Q6", 64},
+		{"cq:5", "CQ5", 32},
+		{"tq:5", "TQ5", 32},
+		{"fq:5", "FQ5", 32},
+		{"eq:5,3", "Q(5,3)", 32},
+		{"aq:5", "AQ5", 32},
+		{"sq:6", "SQ6", 64},
+		{"tnq:5", "TQ'5", 32},
+		{"kary:3,3", "Q^3_3", 27},
+		{"akary:4,2", "AQ(2,4)", 16},
+		{"star:4", "S4", 24},
+		{"nkstar:5,3", "S(5,3)", 60},
+		{"pancake:4", "P4", 24},
+		{"arr:5,2", "A(5,2)", 20},
+		{"ARR:5,2", "A(5,2)", 20}, // case-insensitive family
+	}
+	for _, c := range cases {
+		nw, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if nw.Name() != c.name {
+			t.Errorf("%s: name %q, want %q", c.spec, nw.Name(), c.name)
+		}
+		if nw.Graph().N() != c.n {
+			t.Errorf("%s: N = %d, want %d", c.spec, nw.Graph().N(), c.n)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",           // no colon
+		"q",          // no args
+		"q:",         // empty arg
+		"q:abc",      // non-numeric
+		"q:5,5",      // wrong arity
+		"bogus:5",    // unknown family
+		"tq:4",       // twisted cube needs odd n (constructor panic → error)
+		"sq:8",       // shuffle needs n ≡ 2 mod 4
+		"nkstar:5,9", // k out of range
+		"kary:2,3",   // k ≥ 3 required
+		"arr:5",      // missing k
+		"q:1",        // dimension too small
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("spec %q: expected error", spec)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("spec %q: raw panic leaked: %v", spec, err)
+		}
+	}
+}

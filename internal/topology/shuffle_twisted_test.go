@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestShuffleTablesWellFormed: every suffix class has four distinct
+// non-zero prefix deltas — the contract that makes the construction
+// n-regular and symmetric.
+func TestShuffleTablesWellFormed(t *testing.T) {
+	union := map[int32]bool{}
+	for s, row := range shuffleTables {
+		seen := map[int32]bool{}
+		for _, d := range row {
+			if d == 0 || d > 0xF {
+				t.Fatalf("suffix %d: delta %#x out of range", s, d)
+			}
+			if seen[d] {
+				t.Fatalf("suffix %d: duplicate delta %#x", s, d)
+			}
+			seen[d] = true
+			union[d] = true
+		}
+	}
+	// The union must generate the 4-bit prefix group so the 16-copy
+	// quotient is connected; containing all four single-bit deltas is
+	// sufficient.
+	for _, b := range []int32{1, 2, 4, 8} {
+		if !union[b] {
+			t.Fatalf("union of tables misses generator %#x", b)
+		}
+	}
+}
+
+// TestShuffleCrossEdgesPreserveSuffix: cross edges never change the
+// global 2-bit suffix, so both endpoints use the same table row.
+func TestShuffleCrossEdgesPreserveSuffix(t *testing.T) {
+	g := NewShuffleCube(6).Graph()
+	for u := int32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if x := u ^ v; x&^3 != 0 && u&3 != v&3 {
+				t.Fatalf("cross edge %d-%d changed the suffix", u, v)
+			}
+		}
+	}
+}
+
+// TestShuffleRecursion: the low 16 copies of SQ_10 each induce SQ_6.
+func TestShuffleRecursion(t *testing.T) {
+	big := NewShuffleCube(10).Graph()
+	small := NewShuffleCube(6).Graph()
+	copySize := int32(64)
+	for c := int32(0); c < 16; c += 5 { // sample copies 0, 5, 10, 15
+		base := c * copySize
+		for u := int32(0); u < copySize; u++ {
+			for v := u + 1; v < copySize; v++ {
+				if small.HasEdge(u, v) != big.HasEdge(base+u, base+v) {
+					t.Fatalf("copy %d disagrees with SQ6 at (%d,%d)", c, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestShuffleCrossEdgeCountPerNode: each node has exactly 4 cross edges
+// per recursion level.
+func TestShuffleCrossEdgeCountPerNode(t *testing.T) {
+	g := NewShuffleCube(10).Graph()
+	for _, u := range []int32{0, 63, 511, 1023} {
+		perLevel := map[int]int{}
+		for _, v := range g.Neighbors(u) {
+			x := uint32(u ^ v)
+			if x <= 3 {
+				continue // SQ2 core
+			}
+			level := (bits.TrailingZeros32(x) - 2) / 4
+			perLevel[level]++
+		}
+		for level, cnt := range perLevel {
+			if cnt != 4 {
+				t.Fatalf("node %d: %d cross edges at level %d, want 4", u, cnt, level)
+			}
+		}
+		if len(perLevel) != 2 { // SQ10 has levels at bits 2..5 and 6..9
+			t.Fatalf("node %d: %d levels, want 2", u, len(perLevel))
+		}
+	}
+}
+
+// TestTwistedCubeFaceWiring pins the two wirings of the pair-dimension
+// faces: straight 4-cycles on even parity, twisted on odd.
+func TestTwistedCubeFaceWiring(t *testing.T) {
+	g := NewTwistedCube(3).Graph()
+	// Pair level j=1 uses bits 1,2; parity = bit 0.
+	// Even parity (u=0): straight face — neighbours 0^2=2 and 0^4=4.
+	for _, want := range []int32{2, 4} {
+		if !g.HasEdge(0, want) {
+			t.Fatalf("even face: missing edge 0-%d", want)
+		}
+	}
+	if g.HasEdge(0, 6) {
+		t.Fatal("even face must not have the diagonal 0-6")
+	}
+	// Odd parity (u=1): twisted face — neighbours 1^6=7 and 1^4=5.
+	for _, want := range []int32{7, 5} {
+		if !g.HasEdge(1, want) {
+			t.Fatalf("odd face: missing edge 1-%d", want)
+		}
+	}
+	if g.HasEdge(1, 3) {
+		t.Fatal("odd face must not have the straight edge 1-3")
+	}
+}
+
+// TestTwistedCubeRecursion: the four quarters of TQ_7 induce TQ_5.
+func TestTwistedCubeRecursion(t *testing.T) {
+	big := NewTwistedCube(7).Graph()
+	small := NewTwistedCube(5).Graph()
+	quarter := int32(32)
+	for c := int32(0); c < 4; c++ {
+		base := c * quarter
+		for u := int32(0); u < quarter; u++ {
+			for v := u + 1; v < quarter; v++ {
+				if small.HasEdge(u, v) != big.HasEdge(base+u, base+v) {
+					t.Fatalf("quarter %d disagrees with TQ5 at (%d,%d)", c, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestTwistedCubeRejectsEvenDim documents the odd-n contract of [15].
+func TestTwistedCubeRejectsEvenDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TQ4 accepted")
+		}
+	}()
+	NewTwistedCube(4)
+}

@@ -1,0 +1,425 @@
+package topology
+
+import (
+	"testing"
+)
+
+// small instances whose structural claims we verify exactly.
+func smallInstances() []Network {
+	return []Network{
+		NewHypercube(3),
+		NewHypercube(4),
+		NewHypercube(5),
+		NewCrossedCube(4),
+		NewCrossedCube(5),
+		NewTwistedCube(3),
+		NewTwistedCube(5),
+		NewFoldedHypercube(4),
+		NewEnhancedHypercube(5, 3),
+		NewAugmentedCube(3),
+		NewAugmentedCube(4),
+		NewShuffleCube(6),
+		NewTwistedNCube(4),
+		NewKAryNCube(3, 2),
+		NewKAryNCube(3, 3),
+		NewKAryNCube(4, 2),
+		NewAugmentedKAryNCube(4, 2),
+		NewStar(4),
+		NewStar(5),
+		NewNKStar(5, 2),
+		NewNKStar(5, 3),
+		NewPancake(4),
+		NewPancake(5),
+		NewArrangement(5, 2),
+		NewArrangement(5, 3),
+	}
+}
+
+func expectedDegree(nw Network) int {
+	switch v := nw.(type) {
+	case *Hypercube:
+		return v.Dim()
+	case *CrossedCube:
+		return v.Dim()
+	case *TwistedCube:
+		return v.Dim()
+	case *FoldedHypercube:
+		return v.Dim() + 1
+	case *EnhancedHypercube:
+		return v.Dim() + 1
+	case *AugmentedCube:
+		return 2*v.Dim() - 1
+	case *ShuffleCube:
+		return v.Dim()
+	case *TwistedNCube:
+		return v.Dim()
+	case *KAryNCube:
+		return 2 * v.Dim()
+	case *AugmentedKAryNCube:
+		return 4*v.Dim() - 2
+	case *Star:
+		return v.Dim() - 1
+	case *NKStar:
+		return v.Dim() - 1
+	case *Pancake:
+		return v.Dim() - 1
+	case *Arrangement:
+		return v.Positions() * (v.Dim() - v.Positions())
+	}
+	return -1
+}
+
+func TestStructureOfAllFamilies(t *testing.T) {
+	for _, nw := range smallInstances() {
+		nw := nw
+		t.Run(nw.Name(), func(t *testing.T) {
+			g := nw.Graph()
+			if err := g.Validate(); err != nil {
+				t.Fatalf("invalid graph: %v", err)
+			}
+			if d := expectedDegree(nw); !g.IsRegular(d) {
+				t.Fatalf("not %d-regular (min %d, max %d)", d, g.MinDegree(), g.MaxDegree())
+			}
+			if !g.Connected() {
+				t.Fatal("not connected")
+			}
+		})
+	}
+}
+
+// TestConnectivityClaims verifies the κ used by the diagnosis theory via
+// exact max-flow computation. This is the check that keeps the
+// substituted constructions (twisted, shuffle) honest.
+func TestConnectivityClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("connectivity verification is slow")
+	}
+	for _, nw := range smallInstances() {
+		nw := nw
+		t.Run(nw.Name(), func(t *testing.T) {
+			t.Parallel()
+			got := nw.Graph().VertexConnectivity()
+			if got != nw.Connectivity() {
+				t.Fatalf("computed κ = %d, claimed %d", got, nw.Connectivity())
+			}
+		})
+	}
+}
+
+// TestKappaAtLeastDelta checks the central precondition of Theorem 1 for
+// every instance: κ ≥ δ as claimed.
+func TestKappaAtLeastDelta(t *testing.T) {
+	for _, nw := range smallInstances() {
+		if nw.Connectivity() < nw.Diagnosability() {
+			t.Errorf("%s: claimed κ=%d < δ=%d", nw.Name(), nw.Connectivity(), nw.Diagnosability())
+		}
+	}
+}
+
+// partitionInstances are instances large enough for the δ+1 partition to
+// exist; paired with the expectation of success or failure.
+func TestPartitionPrecondition(t *testing.T) {
+	feasible := []Network{
+		NewHypercube(7),
+		NewHypercube(8), // natural fit at m=4: 16 parts of 16 nodes
+		NewHypercube(10),
+		NewCrossedCube(7),
+		NewTwistedCube(7),
+		NewFoldedHypercube(7),      // padded
+		NewEnhancedHypercube(7, 4), // padded
+		NewAugmentedCube(8),        // smallest AQ_n with N ≥ (δ+1)²
+		NewAugmentedCube(9),        // padded
+		NewShuffleCube(6),          // merged copies
+		NewShuffleCube(10),
+		NewTwistedNCube(7),
+		NewKAryNCube(3, 4),
+		NewKAryNCube(4, 3),          // padded
+		NewKAryNCube(5, 3),          // padded
+		NewAugmentedKAryNCube(7, 2), // 7 parts of 7 nodes exactly
+		NewStar(5),
+		NewStar(6),
+		NewNKStar(6, 3),
+		NewNKStar(7, 4),
+		NewPancake(5),
+		NewPancake(6),
+		NewArrangement(6, 4),
+		NewArrangement(7, 3), // padded
+		NewArrangement(7, 4),
+	}
+	for _, nw := range feasible {
+		nw := nw
+		t.Run(nw.Name(), func(t *testing.T) {
+			d := nw.Diagnosability()
+			parts, err := nw.Parts(d+1, d+1)
+			if err != nil {
+				t.Fatalf("no partition: %v", err)
+			}
+			if err := ValidatePartition(nw.Graph(), parts, d+1, d+1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPartitionInfeasibleCases documents gap G3: families whose size
+// cannot meet the Theorem 1 precondition must say so, not mislead.
+func TestPartitionInfeasibleCases(t *testing.T) {
+	cases := []Network{
+		NewNKStar(6, 2),             // N = 30 < (δ+1)² = 36
+		NewArrangement(7, 2),        // N = 42 < (δ+1)² = 121
+		NewHypercube(3),             // too few subcubes of size > δ
+		NewAugmentedCube(7),         // N = 128 < (δ+1)² = 196
+		NewAugmentedKAryNCube(5, 2), // N = 25 < (δ+1)² = 49
+	}
+	for _, nw := range cases {
+		d := nw.Diagnosability()
+		if _, err := nw.Parts(d+1, d+1); err == nil {
+			t.Errorf("%s: expected ErrNoPartition", nw.Name())
+		}
+	}
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	for _, nw := range []Network{NewHypercube(7), NewStar(6), NewKAryNCube(3, 4), NewShuffleCube(6)} {
+		d := nw.Diagnosability()
+		parts, err := nw.Parts(d+1, d+1)
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		total := 0
+		for _, p := range parts {
+			total += len(p.Nodes)
+		}
+		if total != nw.Graph().N() {
+			t.Errorf("%s: partition covers %d of %d nodes", nw.Name(), total, nw.Graph().N())
+		}
+	}
+}
+
+func TestHypercubeNeighbors(t *testing.T) {
+	q := NewHypercube(4)
+	nb := q.Graph().Neighbors(0)
+	want := []int32{1, 2, 4, 8}
+	if len(nb) != 4 {
+		t.Fatalf("deg(0) = %d", len(nb))
+	}
+	for i, v := range want {
+		if nb[i] != v {
+			t.Fatalf("neighbours of 0: %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestCrossedCubeDiffersFromHypercube(t *testing.T) {
+	q := NewHypercube(4).Graph()
+	c := NewCrossedCube(4).Graph()
+	same := true
+	for u := int32(0); int(u) < q.N() && same; u++ {
+		qa, ca := q.Neighbors(u), c.Neighbors(u)
+		for i := range qa {
+			if qa[i] != ca[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("CQ4 identical to Q4: crossing rule is a no-op")
+	}
+	// The crossed cube has smaller diameter than the hypercube: for
+	// CQ4 the eccentricity of 0 should be < 4.
+	if e := c.Eccentricity(0); e >= 4 {
+		t.Fatalf("CQ4 eccentricity %d, want < 4", e)
+	}
+}
+
+func TestTwistedFamiliesDifferFromHypercube(t *testing.T) {
+	q := NewHypercube(4).Graph()
+	tn := NewTwistedNCube(4).Graph()
+	if tn.HasEdge(0, 1) {
+		t.Fatal("TQ'4 should have removed the edge {0,1}")
+	}
+	if !tn.HasEdge(0, 3) || !tn.HasEdge(1, 2) {
+		t.Fatal("TQ'4 missing diagonal twist edges")
+	}
+	if !q.HasEdge(0, 1) {
+		t.Fatal("sanity: Q4 has edge {0,1}")
+	}
+	tw := NewTwistedCube(5).Graph()
+	diff := false
+	for u := int32(0); int(u) < tw.N(); u++ {
+		for _, v := range tw.Neighbors(u) {
+			if !NewHypercube(5).Graph().HasEdge(u, v) {
+				diff = true
+				break
+			}
+		}
+		if diff {
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("TQ5 is a subgraph of Q5: no twist present")
+	}
+}
+
+func TestFoldedHypercubeComplementEdges(t *testing.T) {
+	f := NewFoldedHypercube(4).Graph()
+	if !f.HasEdge(0, 15) || !f.HasEdge(5, 10) {
+		t.Fatal("complement edges missing")
+	}
+}
+
+func TestEnhancedHypercubeIsFoldedWhenFEqualsN(t *testing.T) {
+	e := NewEnhancedHypercube(4, 4).Graph()
+	f := NewFoldedHypercube(4).Graph()
+	for u := int32(0); int(u) < e.N(); u++ {
+		ea, fa := e.Neighbors(u), f.Neighbors(u)
+		if len(ea) != len(fa) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		for i := range ea {
+			if ea[i] != fa[i] {
+				t.Fatalf("Q(4,4) and FQ4 differ at node %d", u)
+			}
+		}
+	}
+}
+
+func TestAugmentedCubeStructure(t *testing.T) {
+	a := NewAugmentedCube(3).Graph()
+	// AQ3: node 0 has hypercube neighbours 1,2,4 and suffix complements
+	// 3 (low 2 bits) and 7 (low 3 bits).
+	for _, v := range []int32{1, 2, 3, 4, 7} {
+		if !a.HasEdge(0, v) {
+			t.Fatalf("AQ3 missing edge 0-%d", v)
+		}
+	}
+	if a.Degree(0) != 5 {
+		t.Fatalf("deg = %d, want 5", a.Degree(0))
+	}
+}
+
+func TestKAryNCubeTorusStructure(t *testing.T) {
+	q := NewKAryNCube(4, 2).Graph() // 4x4 torus
+	if q.N() != 16 {
+		t.Fatalf("N = %d", q.N())
+	}
+	// Node 0 = (0,0): neighbours (±1, 0), (0, ±1) = ids 1, 3, 4, 12.
+	for _, v := range []int32{1, 3, 4, 12} {
+		if !q.HasEdge(0, v) {
+			t.Fatalf("torus missing edge 0-%d", v)
+		}
+	}
+	if !q.IsRegular(4) {
+		t.Fatal("4-ary 2-cube must be 4-regular")
+	}
+}
+
+func TestStarS3IsSixCycle(t *testing.T) {
+	s := NewStar(3).Graph()
+	if s.N() != 6 || !s.IsRegular(2) || !s.Connected() {
+		t.Fatal("S3 must be a 6-cycle")
+	}
+}
+
+func TestPancakeP3IsSixCycle(t *testing.T) {
+	p := NewPancake(3).Graph()
+	if p.N() != 6 || !p.IsRegular(2) || !p.Connected() {
+		t.Fatal("P3 must be a 6-cycle")
+	}
+}
+
+func TestNKStarMatchesStarWhenKIsNMinus1(t *testing.T) {
+	// S(n, n-1) is isomorphic to S_n; check sizes and regularity (a
+	// full isomorphism check is overkill here).
+	nk := NewNKStar(5, 4).Graph()
+	st := NewStar(5).Graph()
+	if nk.N() != st.N() || nk.M() != st.M() {
+		t.Fatalf("S(5,4) has N=%d M=%d; S5 has N=%d M=%d", nk.N(), nk.M(), st.N(), st.M())
+	}
+}
+
+func TestArrangementA_n1_IsComplete(t *testing.T) {
+	a := NewArrangement(5, 1).Graph()
+	if a.N() != 5 || !a.IsRegular(4) {
+		t.Fatal("A(5,1) must be K5")
+	}
+}
+
+func TestPermCodecRoundTrip(t *testing.T) {
+	for _, nk := range [][2]int{{5, 5}, {6, 3}, {7, 4}, {4, 1}, {8, 2}} {
+		c := newPermCodec(nk[0], nk[1])
+		p := make([]int8, nk[1])
+		seen := map[int32]bool{}
+		for id := int32(0); int(id) < c.Count(); id++ {
+			c.Unrank(id, p)
+			// Injectivity of the tuple.
+			var mask uint32
+			for _, s := range p {
+				if s < 0 || int(s) >= nk[0] {
+					t.Fatalf("(%d,%d): symbol %d out of range", nk[0], nk[1], s)
+				}
+				if mask&(1<<uint(s)) != 0 {
+					t.Fatalf("(%d,%d): duplicate symbol in tuple %v", nk[0], nk[1], p)
+				}
+				mask |= 1 << uint(s)
+			}
+			r := c.Rank(p)
+			if r != id {
+				t.Fatalf("(%d,%d): rank(unrank(%d)) = %d", nk[0], nk[1], id, r)
+			}
+			if seen[r] {
+				t.Fatalf("duplicate rank %d", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestPermCodecLexOrder(t *testing.T) {
+	c := newPermCodec(3, 3)
+	want := [][]int8{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	p := make([]int8, 3)
+	for id, w := range want {
+		c.Unrank(int32(id), p)
+		for i := range w {
+			if p[i] != w[i] {
+				t.Fatalf("unrank(%d) = %v, want %v", id, p, w)
+			}
+		}
+	}
+}
+
+func TestShuffleCubeRecursiveStructure(t *testing.T) {
+	s := NewShuffleCube(6).Graph()
+	if s.N() != 64 || !s.IsRegular(6) {
+		t.Fatalf("SQ6 wrong shape: N=%d", s.N())
+	}
+	// The low-id copy {0..3} must induce a 4-cycle (SQ2 = Q2).
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if !s.HasEdge(e[0], e[1]) {
+			t.Fatalf("SQ6 missing SQ2-core edge %v", e)
+		}
+	}
+	if s.HasEdge(0, 3) {
+		t.Fatal("SQ2 core must be a 4-cycle, not K4")
+	}
+}
+
+func TestMergePartsRescuesShuffle6(t *testing.T) {
+	s := NewShuffleCube(6)
+	d := s.Diagnosability() // 6
+	parts, err := s.Parts(d+1, d+1)
+	if err != nil {
+		t.Fatalf("SQ6 partition failed: %v", err)
+	}
+	for _, p := range parts {
+		if len(p.Nodes) < d+1 {
+			t.Fatalf("part with %d nodes < %d", len(p.Nodes), d+1)
+		}
+	}
+	if err := ValidatePartition(s.Graph(), parts, d+1, d+1); err != nil {
+		t.Fatal(err)
+	}
+}
