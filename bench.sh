@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate the perf-trajectory baseline (see internal/perf and
+# cmd/benchtab -json). Usage: ./bench.sh [OUTFILE], default BENCH_1.json.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+out="${1:-BENCH_1.json}"
+go run ./cmd/benchtab -json "$out"
+echo "wrote $out"

@@ -1,13 +1,20 @@
 // Command benchtab regenerates the paper's evaluation artefacts as
-// plain-text tables — one per experiment in DESIGN.md §4.
+// plain-text tables — one per experiment in DESIGN.md §4 — and, in
+// -json mode, the repository's perf-trajectory baseline.
 //
 // Usage:
 //
 //	benchtab -table all          # every experiment (default)
 //	benchtab -table t2           # Theorem 2 sweep only
 //	benchtab -table t9 -full     # enlarged sweep
+//	benchtab -json BENCH_1.json  # run the perf suite, write JSON baseline
 //
 // Table ids: t2..t12 (paper claims), a1..a3 (repository ablations).
+//
+// The -json mode runs the fixed benchmark suite of internal/perf
+// (ns/op, lookups/op, allocs/op per experiment) and writes it to the
+// given file; bench.sh wraps it so each PR can commit a BENCH_<n>.json
+// and be compared against its predecessors.
 package main
 
 import (
@@ -17,12 +24,33 @@ import (
 	"strings"
 
 	"comparisondiag/internal/experiments"
+	"comparisondiag/internal/perf"
 )
 
 func main() {
 	table := flag.String("table", "all", "experiment id (t2..t12, a1..a3, or 'all')")
 	full := flag.Bool("full", false, "run the enlarged sweeps (slower)")
+	jsonOut := flag.String("json", "", "run the perf regression suite and write JSON to this file ('-' for stdout)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		rep := perf.Suite()
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.Write(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if strings.EqualFold(*table, "all") {
 		for _, t := range experiments.All(*full) {

@@ -58,6 +58,9 @@ type (
 	Options = core.Options
 	// SetBuilderResult is the outcome of one Set_Builder run.
 	SetBuilderResult = core.SetBuilderResult
+	// Scratch holds reusable hot-path buffers (see core.Scratch for the
+	// result-lifetime contract of scratch-backed calls).
+	Scratch = core.Scratch
 	// ExtendedStar is the Chiang–Tan Fig. 2 structure.
 	ExtendedStar = baseline.ExtendedStar
 	// DistStats reports the cost of a distributed protocol run.
@@ -164,6 +167,11 @@ var (
 	DiagnoseAny = core.DiagnoseAny
 	// SetBuilder is the paper's Set_Builder(u0) procedure.
 	SetBuilder = core.SetBuilder
+	// SetBuilderInto is SetBuilder against a reusable Scratch: zero
+	// steady-state allocations; the result is a view into the scratch.
+	SetBuilderInto = core.SetBuilderInto
+	// NewScratch allocates hot-path buffers for graphs on n nodes.
+	NewScratch = core.NewScratch
 	// CertifyPart is the scan certificate for a partition cell.
 	CertifyPart = core.CertifyPart
 )

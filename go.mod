@@ -1,0 +1,3 @@
+module comparisondiag
+
+go 1.24.0

@@ -139,6 +139,12 @@ func (s *Set) Intersects(o *Set) bool {
 	return false
 }
 
+// Words exposes the backing word array (word i holds members
+// [64i, 64i+63]). Callers must treat it as read-only; it exists so hot
+// loops (e.g. graph.NeighborsOfSetInto) can iterate members word-level
+// without a closure call per member.
+func (s *Set) Words() []uint64 { return s.words }
+
 // ForEach calls f for every member in ascending order. If f returns
 // false iteration stops early.
 func (s *Set) ForEach(f func(i int) bool) {
@@ -151,6 +157,25 @@ func (s *Set) ForEach(f func(i int) bool) {
 			w &= w - 1
 		}
 	}
+}
+
+// Drain appends the members to buf in ascending order, removing them
+// from the set, and returns the extended buffer. It is how hot loops
+// turn a set of freshly discovered nodes into a sorted work list
+// without a comparison sort: one O(capacity/64) word sweep.
+func (s *Set) Drain(buf []int32) []int32 {
+	for wi, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		for w != 0 {
+			buf = append(buf, int32(base+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+		s.words[wi] = 0
+	}
+	return buf
 }
 
 // Members returns the members in ascending order.

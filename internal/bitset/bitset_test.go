@@ -159,3 +159,28 @@ func TestQuickInclusionExclusion(t *testing.T) {
 		}
 	}
 }
+
+func TestDrain(t *testing.T) {
+	s := New(200)
+	want := []int32{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, v := range want {
+		s.Add(int(v))
+	}
+	buf := make([]int32, 0, 4)
+	got := s.Drain(buf)
+	if len(got) != len(want) {
+		t.Fatalf("drained %d members, want %d", len(got), len(want))
+	}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("member %d: got %d, want %d", i, got[i], v)
+		}
+	}
+	if s.Count() != 0 {
+		t.Fatalf("set not emptied: %v", s)
+	}
+	// Draining an empty set keeps the buffer untouched.
+	if out := s.Drain(got[:0]); len(out) != 0 {
+		t.Fatalf("drain of empty set returned %v", out)
+	}
+}

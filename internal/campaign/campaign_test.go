@@ -81,3 +81,35 @@ func TestSweepVerificationPathOnGapG3Instance(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentSweeps runs two sweeps of the same network at the same
+// time, each with internal worker parallelism. Per-trial syndromes are
+// private to their goroutine (the plain-counter fast path), so under
+// -race this pins the claim that campaign parallelism needs no atomic
+// look-up counting.
+func TestConcurrentSweeps(t *testing.T) {
+	nw := topology.NewHypercube(6)
+	done := make(chan []Point, 2)
+	for i := 0; i < 2; i++ {
+		go func(seed int64) {
+			done <- Sweep(nw, Config{
+				MinFaults: 1,
+				MaxFaults: nw.Diagnosability(),
+				Trials:    8,
+				Seed:      seed,
+				Workers:   4,
+			})
+		}(int64(i + 1))
+	}
+	for i := 0; i < 2; i++ {
+		points := <-done
+		if len(points) != nw.Diagnosability() {
+			t.Fatalf("got %d points", len(points))
+		}
+		for _, p := range points {
+			if p.Exact != p.Trials {
+				t.Fatalf("%d faults: %d/%d exact — guarantee violated", p.Faults, p.Exact, p.Trials)
+			}
+		}
+	}
+}

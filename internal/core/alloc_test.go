@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// TestSetBuilderIntoZeroAllocs pins the hot-path contract: on a warm
+// scratch, SetBuilderInto performs no heap allocation.
+func TestSetBuilderIntoZeroAllocs(t *testing.T) {
+	nw := topology.NewHypercube(10)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	F := syndrome.RandomFaults(g.N(), delta, rand.New(rand.NewSource(1)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	seed := int32(0)
+	for F.Contains(int(seed)) {
+		seed++
+	}
+	sc := NewScratch(g.N())
+	// Warm the scratch so the frontier buffers reach their steady-state
+	// capacity.
+	SetBuilderInto(sc, g, s, seed, delta, nil)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		r := SetBuilderInto(sc, g, s, seed, delta, nil)
+		if r.U.Count() == 0 {
+			t.Fatal("empty result")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SetBuilderInto on warm scratch allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestDiagnoseWarmScratchZeroAllocs pins the end-to-end contract: with
+// caller-supplied Parts and Scratch, a sequential DiagnoseOpts performs
+// no heap allocation in steady state.
+func TestDiagnoseWarmScratchZeroAllocs(t *testing.T) {
+	nw := topology.NewHypercube(10)
+	delta := nw.Diagnosability()
+	parts, err := nw.Parts(delta+1, delta+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	F := syndrome.RandomFaults(nw.Graph().N(), delta, rand.New(rand.NewSource(2)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	opt := Options{Parts: parts, Scratch: NewScratch(nw.Graph().N())}
+	// Warm run.
+	if _, _, err := DiagnoseOpts(nw, s, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		got, _, err := DiagnoseOpts(nw, s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(F) {
+			t.Fatal("misdiagnosis")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DiagnoseOpts allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestScratchResultsMatchAllocatingAPI checks that the scratch-reusing
+// path is behaviourally identical to the allocating wrappers: same
+// fault set, same stats, same look-up count — the paper's look-up
+// economy must be bit-for-bit preserved by the reuse machinery.
+func TestScratchResultsMatchAllocatingAPI(t *testing.T) {
+	for _, trial := range []int64{1, 2, 3, 4, 5} {
+		nw := topology.NewHypercube(8)
+		delta := nw.Diagnosability()
+		F := syndrome.RandomFaults(nw.Graph().N(), delta, rand.New(rand.NewSource(trial)))
+
+		s1 := syndrome.NewLazy(F, syndrome.Mimic{})
+		f1, st1, err1 := DiagnoseOpts(nw, s1, Options{})
+
+		parts, err := nw.Parts(delta+1, delta+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := syndrome.NewLazy(F, syndrome.Mimic{})
+		sc := NewScratch(nw.Graph().N())
+		f2, st2, err2 := DiagnoseOpts(nw, s2, Options{Parts: parts, Scratch: sc})
+
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !f1.Equal(f2) {
+			t.Fatalf("trial %d: fault sets differ: %v vs %v", trial, f1, f2)
+		}
+		if *st1 != *st2 {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, st1, st2)
+		}
+		if s1.Lookups() != s2.Lookups() {
+			t.Fatalf("trial %d: lookups differ: %d vs %d", trial, s1.Lookups(), s2.Lookups())
+		}
+	}
+}

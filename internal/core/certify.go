@@ -23,7 +23,14 @@ import (
 // Completeness: a fault-free part always passes, because each tester and
 // both tested nodes are healthy.
 func CertifyPart(g *graph.Graph, s syndrome.Syndrome, nodes []int32, mask *bitset.Set) bool {
-	var ns []int32
+	ok, _ := certifyScan(g, s, nodes, mask, nil)
+	return ok
+}
+
+// certifyScan is CertifyPart with an external neighbour buffer: it
+// returns the verdict and the (possibly grown) buffer so hot paths can
+// keep it in a Scratch and stay allocation-free.
+func certifyScan(g *graph.Graph, s syndrome.Syndrome, nodes []int32, mask *bitset.Set, ns []int32) (bool, []int32) {
 	for _, u := range nodes {
 		ns = ns[:0]
 		for _, v := range g.Neighbors(u) {
@@ -33,15 +40,15 @@ func CertifyPart(g *graph.Graph, s syndrome.Syndrome, nodes []int32, mask *bitse
 		}
 		if len(ns) < 2 {
 			// Precondition violated: the certificate cannot vouch for u.
-			return false
+			return false, ns
 		}
 		for i := 0; i+1 < len(ns); i++ {
 			if s.Test(u, ns[i], ns[i+1]) == 1 {
-				return false
+				return false, ns
 			}
 		}
 	}
-	return true
+	return true, ns
 }
 
 // CertifyPartPaper runs the paper's own per-part certificate: a
@@ -53,7 +60,13 @@ func CertifyPart(g *graph.Graph, s syndrome.Syndrome, nodes []int32, mask *bitse
 // larger than δ; the ablation experiment A1 quantifies how often that
 // bites at the paper's prescribed part sizes.
 func CertifyPartPaper(g *graph.Graph, s syndrome.Syndrome, seed int32, delta int, mask *bitset.Set) *SetBuilderResult {
-	r := SetBuilder(g, s, seed, delta, mask)
+	return certifyPaperInto(NewScratch(g.N()), g, s, seed, delta, mask)
+}
+
+// certifyPaperInto is CertifyPartPaper against a reusable Scratch; the
+// returned result (when non-nil) is a view into the scratch.
+func certifyPaperInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, seed int32, delta int, mask *bitset.Set) *SetBuilderResult {
+	r := SetBuilderInto(sc, g, s, seed, delta, mask)
 	if r.AllHealthy {
 		return r
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+
+	"comparisondiag/internal/bitset"
+)
+
+// Scratch holds every buffer the diagnosis hot path needs, so that a
+// warm scratch makes SetBuilderInto — and a whole DiagnoseGraph call
+// when supplied via Options.Scratch — run without heap allocation:
+//
+//   - the U / Contributors bitsets and the Parent slice of Set_Builder,
+//     plus its two frontier buffers;
+//   - one reusable part mask for certification, populated and cleared
+//     member-wise (O(|part|), not O(n)) between candidate parts;
+//   - the part-neighbour buffer of the scan certificate;
+//   - the output fault set and Stats of DiagnoseGraph.
+//
+// Reuse contract: results handed out against a Scratch
+// (SetBuilderResult from SetBuilderInto, the fault set and Stats from a
+// Diagnose call with Options.Scratch set) are views into these buffers.
+// They stay valid until the scratch is used again; callers that need
+// them longer must copy (bitset.Clone, slices.Clone) first, and must
+// not modify them in place. A Scratch belongs to one goroutine at a
+// time.
+type Scratch struct {
+	n            int
+	res          SetBuilderResult
+	u            *bitset.Set
+	contributors *bitset.Set
+	parent       []int32
+	frontier     []int32
+	next         []int32
+	added        *bitset.Set // nodes admitted this round, drained in order
+	mask         *bitset.Set // kept empty between certifications
+	ns           []int32
+	faults       *bitset.Set
+	stats        Stats
+}
+
+// NewScratch returns a Scratch for graphs on n nodes. The mask and
+// fault-set buffers are allocated lazily, so a scratch used only for
+// SetBuilderInto never pays for them.
+func NewScratch(n int) *Scratch {
+	sc := &Scratch{}
+	sc.init(n)
+	return sc
+}
+
+func (sc *Scratch) init(n int) {
+	sc.n = n
+	sc.u = bitset.New(n)
+	sc.contributors = bitset.New(n)
+	sc.parent = make([]int32, n)
+	for i := range sc.parent {
+		sc.parent[i] = -1
+	}
+	sc.frontier = sc.frontier[:0]
+	sc.next = sc.next[:0]
+	sc.added = bitset.New(n)
+	sc.mask = nil
+	sc.ns = sc.ns[:0]
+	sc.faults = nil
+}
+
+// ensure makes the scratch usable for a graph on n nodes, reallocating
+// only on a capacity change.
+func (sc *Scratch) ensure(n int) {
+	if sc.n != n {
+		sc.init(n)
+	}
+}
+
+// resetTree clears the previous Set_Builder state: Parent entries are
+// reset member-wise from the old U (only nodes that joined U ever get a
+// parent), then the bitsets are cleared word-level.
+func (sc *Scratch) resetTree() {
+	for wi, w := range sc.u.Words() {
+		for w != 0 {
+			sc.parent[wi<<6+bits.TrailingZeros64(w)] = -1
+			w &= w - 1
+		}
+	}
+	sc.u.Clear()
+	sc.contributors.Clear()
+	// added self-drains every round; clear defensively in case an earlier
+	// run aborted mid-round (e.g. a panicking syndrome).
+	sc.added.Clear()
+}
+
+// maskBuf returns the reusable (empty) part mask.
+func (sc *Scratch) maskBuf() *bitset.Set {
+	if sc.mask == nil {
+		sc.mask = bitset.New(sc.n)
+	}
+	return sc.mask
+}
+
+// faultsBuf returns the reusable output fault set.
+func (sc *Scratch) faultsBuf() *bitset.Set {
+	if sc.faults == nil {
+		sc.faults = bitset.New(sc.n)
+	}
+	return sc.faults
+}
+
+// scratchPool recycles Scratches across Diagnose calls so steady-state
+// diagnosis on a fixed-size graph allocates nothing per call beyond the
+// caller-owned copies of its results.
+var scratchPool sync.Pool
+
+func getScratch(n int) *Scratch {
+	if v := scratchPool.Get(); v != nil {
+		sc := v.(*Scratch)
+		sc.ensure(n)
+		return sc
+	}
+	return NewScratch(n)
+}
+
+func putScratch(sc *Scratch) { scratchPool.Put(sc) }

@@ -3,6 +3,12 @@
 // diagnosis procedure of Theorem 1, with the look-up economy the paper
 // argues for in Section 6 — syndromes are consulted on demand, never
 // materialised wholesale.
+//
+// The hot path is allocation-free in steady state: all working storage
+// (bitsets, the parent array, frontier buffers, part masks) lives in a
+// Scratch, pooled internally by Diagnose and exposed to callers via
+// SetBuilderInto and Options.Scratch. See Scratch for the reuse
+// contract of results produced against a scratch.
 package core
 
 import (
@@ -44,16 +50,24 @@ type SetBuilderResult struct {
 // Complexity: O(Δ·|U_r|) time; at most (Δ-1)(Δ/2 + |U_r| - 1) syndrome
 // look-ups (Section 6): C(Δ,2) for the root's pair scan and at most Δ-1
 // per subsequent tree node.
+//
+// SetBuilder allocates a fresh Scratch per call, so the caller owns the
+// result outright. Hot paths should call SetBuilderInto with a reused
+// Scratch instead, which performs no allocation in steady state.
 func SetBuilder(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set) *SetBuilderResult {
-	n := g.N()
-	res := &SetBuilderResult{
-		U:            bitset.New(n),
-		Parent:       make([]int32, n),
-		Contributors: bitset.New(n),
-	}
-	for i := range res.Parent {
-		res.Parent[i] = -1
-	}
+	return SetBuilderInto(NewScratch(g.N()), g, s, u0, delta, restrict)
+}
+
+// SetBuilderInto is SetBuilder running entirely inside the given
+// Scratch: on a warm scratch (capacity matching g, frontier buffers
+// grown by earlier runs) it performs zero heap allocations. The result
+// — including U, Parent and Contributors — is a view into the scratch,
+// valid until the scratch's next use; see Scratch for the contract.
+func SetBuilderInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set) *SetBuilderResult {
+	sc.ensure(g.N())
+	sc.resetTree()
+	res := &sc.res
+	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
 	res.U.Add(int(u0))
 	start := s.Lookups()
 
@@ -64,7 +78,8 @@ func SetBuilder(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restri
 	// Build U_1: u0 tests unordered pairs of its neighbours; a 0 result
 	// certifies both participants at once.
 	adj := g.Neighbors(u0)
-	var frontier []int32
+	frontier := sc.frontier[:0]
+	next := sc.next[:0]
 	for i := 0; i < len(adj); i++ {
 		if !in(adj[i]) {
 			continue
@@ -100,9 +115,12 @@ func SetBuilder(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restri
 
 	// Grow U_i from the frontier U_{i-1} \ U_{i-2}. Frontier nodes are
 	// kept in ascending id order so the first frontier node to admit v
-	// is the least — the paper's t(v) tie-break.
+	// is the least — the paper's t(v) tie-break. Admitted nodes are
+	// collected in the `added` bitset and drained, which yields exactly
+	// that ascending order without a comparison sort.
+	added := sc.added
 	for len(frontier) > 0 {
-		var next []int32
+		admitted := 0
 		for _, u := range frontier {
 			tu := res.Parent[u]
 			for _, v := range g.Neighbors(u) {
@@ -112,7 +130,8 @@ func SetBuilder(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restri
 				if s.Test(u, v, tu) == 0 {
 					res.U.Add(int(v))
 					res.Parent[v] = u
-					next = append(next, v)
+					added.Add(int(v))
+					admitted++
 					if !res.Contributors.Contains(int(u)) {
 						res.Contributors.Add(int(u))
 						contribCount++
@@ -120,29 +139,19 @@ func SetBuilder(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restri
 				}
 			}
 		}
-		if len(next) == 0 {
+		if admitted == 0 {
 			break
 		}
-		sortAscending(next)
-		frontier = next
+		next = added.Drain(next[:0])
+		frontier, next = next, frontier
 		res.Rounds++
 		if contribCount > delta {
 			res.AllHealthy = true
 		}
 	}
+	// Hand the (possibly grown) buffers back so later runs reuse their
+	// capacity.
+	sc.frontier, sc.next = frontier, next
 	res.Lookups = s.Lookups() - start
 	return res
-}
-
-func sortAscending(a []int32) {
-	for gap := len(a) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(a); i++ {
-			v := a[i]
-			j := i
-			for ; j >= gap && a[j-gap] > v; j -= gap {
-				a[j] = a[j-gap]
-			}
-			a[j] = v
-		}
-	}
 }

@@ -27,14 +27,17 @@ var ErrNoConsistentCandidate = errors.New("core: no consistent fault hypothesis 
 // whose partition precondition is unsatisfiable (gap G3: (n,2)-stars,
 // A_{n,2}, AQ_7, …); prefer Diagnose whenever a partition exists.
 func DiagnoseWithVerification(g *graph.Graph, delta int, s syndrome.Syndrome) (*bitset.Set, error) {
+	sc := getScratch(g.N())
+	defer putScratch(sc)
+	cand := sc.faultsBuf()
 	for u0 := int32(0); int(u0) < g.N(); u0++ {
-		r := SetBuilder(g, s, u0, delta, nil)
-		cand := g.NeighborsOfSet(r.U)
+		r := SetBuilderInto(sc, g, s, u0, delta, nil)
+		g.NeighborsOfSetInto(r.U, cand)
 		if cand.Count() > delta {
 			continue
 		}
 		if syndrome.Consistent(g, s, cand) {
-			return cand, nil
+			return cand.Clone(), nil
 		}
 	}
 	return nil, ErrNoConsistentCandidate

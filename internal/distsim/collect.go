@@ -38,6 +38,9 @@ type CentralCollect struct {
 
 // NewCentralCollect prepares the collection protocol.
 func NewCentralCollect(e *Engine, g *graph.Graph, s syndrome.Syndrome) *CentralCollect {
+	// OnRound runs concurrently across nodes, so take a view that
+	// tolerates concurrent Test calls (striped look-up counting).
+	s = syndrome.ForConcurrent(s)
 	n := g.N()
 	c := &CentralCollect{
 		e: e, g: g, s: s,

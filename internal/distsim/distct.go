@@ -54,6 +54,9 @@ type DistCT struct {
 // NewDistCT prepares the protocol; stars[x] must be an extended star
 // rooted at x whose branch count is at least the fault bound.
 func NewDistCT(e *Engine, g *graph.Graph, s syndrome.Syndrome, stars []*baseline.ExtendedStar) *DistCT {
+	// OnRound runs concurrently across nodes, so take a view that
+	// tolerates concurrent Test calls (striped look-up counting).
+	s = syndrome.ForConcurrent(s)
 	n := g.N()
 	d := &DistCT{
 		e: e, g: g, s: s, stars: stars,

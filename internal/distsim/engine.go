@@ -14,7 +14,7 @@ package distsim
 import (
 	"errors"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -106,21 +106,19 @@ func (e *Engine) Run(p Program, maxRounds int) (*Stats, error) {
 		for u := range inboxes {
 			active = append(active, u)
 		}
-		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+		slices.Sort(active)
 		for _, u := range active {
-			in := inboxes[u]
-			sort.Slice(in, func(i, j int) bool {
-				a, b := in[i], in[j]
+			slices.SortFunc(inboxes[u], func(a, b Message) int {
 				if a.From != b.From {
-					return a.From < b.From
+					return int(a.From - b.From)
 				}
 				if a.Kind != b.Kind {
-					return a.Kind < b.Kind
+					return int(a.Kind) - int(b.Kind)
 				}
 				if a.A != b.A {
-					return a.A < b.A
+					return int(a.A - b.A)
 				}
-				return a.B < b.B
+				return int(a.B - b.B)
 			})
 		}
 

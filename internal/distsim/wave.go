@@ -50,6 +50,9 @@ type WaveSetBuilder struct {
 // NewWaveSetBuilder prepares the protocol on g with the given certified
 // healthy seed.
 func NewWaveSetBuilder(e *Engine, g *graph.Graph, s syndrome.Syndrome, seed int32) *WaveSetBuilder {
+	// OnRound runs concurrently across nodes, so take a view that
+	// tolerates concurrent Test calls (striped look-up counting).
+	s = syndrome.ForConcurrent(s)
 	n := g.N()
 	w := &WaveSetBuilder{
 		e: e, g: g, s: s, seed: seed,

@@ -98,7 +98,7 @@ func (g *Graph) LocalConnectivity(s, t int32) int {
 			c = int8(127)
 		}
 		f.addArc(2*u, 2*u+1, c)
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			f.addArc(2*u+1, 2*v, 1)
 		}
 	}
@@ -127,11 +127,11 @@ func (g *Graph) VertexConnectivity() int {
 		}
 	}
 	best := g.n - 1
-	anchors := append([]int32{v0}, g.adj[v0]...)
+	anchors := append([]int32{v0}, g.Neighbors(v0)...)
 	for _, s := range anchors {
 		inNbhd := make([]bool, g.n)
 		inNbhd[s] = true
-		for _, v := range g.adj[s] {
+		for _, v := range g.Neighbors(s) {
 			inNbhd[v] = true
 		}
 		for t := int32(0); int(t) < g.n; t++ {

@@ -1,24 +1,29 @@
 // Package graph provides the undirected-graph substrate used to model
 // interconnection networks. Nodes are dense int32 identifiers in [0, N);
-// adjacency is stored in compact slices so that networks with millions of
-// nodes fit comfortably in memory. The package also supplies the exact
-// structural computations the diagnosis theory relies on: connectivity
-// (via Menger/max-flow), articulation points, components and BFS layers.
+// adjacency is stored in compressed-sparse-row (CSR) form — one flat
+// target array plus per-node offsets — so that networks with millions of
+// nodes fit comfortably in memory, neighbour scans are a single
+// contiguous read, and the whole structure is built in O(m) by counting
+// sort. The package also supplies the exact structural computations the
+// diagnosis theory relies on: connectivity (via Menger/max-flow),
+// articulation points, components and BFS layers.
 package graph
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
-// Graph is a simple undirected graph over nodes 0..N-1. Build one with
-// NewBuilder; a finished Graph is immutable and safe for concurrent
-// readers.
+// Graph is a simple undirected graph over nodes 0..N-1 in CSR layout:
+// the neighbours of u are targets[offsets[u]:offsets[u+1]], ascending.
+// Build one with NewBuilder; a finished Graph is immutable and safe for
+// concurrent readers.
 type Graph struct {
-	n   int
-	adj [][]int32
-	m   int // number of undirected edges
+	n       int
+	offsets []int32 // len n+1; offsets[u] is the start of u's block
+	targets []int32 // len 2m; sorted within each node's block
+	m       int     // number of undirected edges
 }
 
 // N returns the number of nodes.
@@ -27,22 +32,25 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
 
-// Neighbors returns the adjacency list of u in ascending order. The
-// caller must not modify the returned slice.
-func (g *Graph) Neighbors(u int32) []int32 { return g.adj[u] }
+// Neighbors returns the adjacency list of u in ascending order, as a
+// view into the CSR target array. The caller must not modify the
+// returned slice.
+func (g *Graph) Neighbors(u int32) []int32 {
+	return g.targets[g.offsets[u]:g.offsets[u+1]]
+}
 
 // Degree returns the degree of u.
-func (g *Graph) Degree(u int32) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int32) int { return int(g.offsets[u+1] - g.offsets[u]) }
 
 // MaxDegree returns the maximum node degree (Δ in the paper).
 func (g *Graph) MaxDegree() int {
-	d := 0
-	for _, a := range g.adj {
-		if len(a) > d {
-			d = len(a)
+	d := int32(0)
+	for u := 0; u < g.n; u++ {
+		if w := g.offsets[u+1] - g.offsets[u]; w > d {
+			d = w
 		}
 	}
-	return d
+	return int(d)
 }
 
 // MinDegree returns the minimum node degree.
@@ -50,27 +58,26 @@ func (g *Graph) MinDegree() int {
 	if g.n == 0 {
 		return 0
 	}
-	d := len(g.adj[0])
-	for _, a := range g.adj[1:] {
-		if len(a) < d {
-			d = len(a)
+	d := g.offsets[1] - g.offsets[0]
+	for u := 1; u < g.n; u++ {
+		if w := g.offsets[u+1] - g.offsets[u]; w < d {
+			d = w
 		}
 	}
-	return d
+	return int(d)
 }
 
 // HasEdge reports whether {u, v} is an edge, by binary search on u's
-// (sorted) adjacency list.
+// (sorted) adjacency block.
 func (g *Graph) HasEdge(u, v int32) bool {
-	a := g.adj[u]
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
-	return i < len(a) && a[i] == v
+	_, ok := slices.BinarySearch(g.Neighbors(u), v)
+	return ok
 }
 
 // IsRegular reports whether every node has degree d.
 func (g *Graph) IsRegular(d int) bool {
-	for _, a := range g.adj {
-		if len(a) != d {
+	for u := 0; u < g.n; u++ {
+		if int(g.offsets[u+1]-g.offsets[u]) != d {
 			return false
 		}
 	}
@@ -78,11 +85,23 @@ func (g *Graph) IsRegular(d int) bool {
 }
 
 // Validate checks structural invariants: no self-loops, no duplicate
-// edges, symmetric adjacency, sorted lists. Topology constructors call
-// this in tests to catch wiring mistakes.
+// edges, symmetric adjacency, sorted lists, consistent CSR offsets.
+// Topology constructors call this in tests to catch wiring mistakes.
 func (g *Graph) Validate() error {
+	if len(g.offsets) != g.n+1 {
+		return fmt.Errorf("graph: offsets length %d for %d nodes", len(g.offsets), g.n)
+	}
+	if g.offsets[0] != 0 || int(g.offsets[g.n]) != len(g.targets) {
+		return errors.New("graph: CSR offsets do not span the target array")
+	}
+	if len(g.targets) != 2*g.m {
+		return fmt.Errorf("graph: %d directed arcs for %d undirected edges", len(g.targets), g.m)
+	}
 	for u := int32(0); int(u) < g.n; u++ {
-		a := g.adj[u]
+		if g.offsets[u] > g.offsets[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", u)
+		}
+		a := g.Neighbors(u)
 		for i, v := range a {
 			if v == u {
 				return fmt.Errorf("graph: self-loop at %d", u)
@@ -138,47 +157,71 @@ func (b *Builder) MustAddEdge(u, v int32) {
 	}
 }
 
-// Build deduplicates edges and produces the Graph.
+// Build deduplicates edges and produces the Graph in CSR form. The whole
+// construction is O(m + n): each undirected edge is expanded into its two
+// directed arcs, the arc list is sorted with two stable counting-sort
+// passes (by target, then by source — an LSD radix sort on node ids), and
+// duplicates, now adjacent, are dropped while the flat target array and
+// offsets are laid down.
 func (b *Builder) Build() *Graph {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
-		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
-	deg := make([]int32, b.n)
-	m := 0
-	var prev [2]int32 = [2]int32{-1, -1}
-	for _, e := range b.edges {
-		if e == prev {
+	n := b.n
+	na := 2 * len(b.edges)
+	src := make([]int32, na)
+	dst := make([]int32, na)
+	for i, e := range b.edges {
+		src[2*i], dst[2*i] = e[0], e[1]
+		src[2*i+1], dst[2*i+1] = e[1], e[0]
+	}
+	tmpS := make([]int32, na)
+	tmpD := make([]int32, na)
+	count := make([]int32, n+1)
+	countingSortByKey(dst, src, dst, tmpS, tmpD, count)  // stable pass 1: by target
+	countingSortByKey(tmpS, tmpS, tmpD, src, dst, count) // stable pass 2: by source
+
+	offsets := make([]int32, n+1)
+	targets := make([]int32, 0, na)
+	prevS, prevD := int32(-1), int32(-1)
+	u := int32(0)
+	for i := 0; i < na; i++ {
+		s, d := src[i], dst[i]
+		if s == prevS && d == prevD {
 			continue
 		}
-		prev = e
-		deg[e[0]]++
-		deg[e[1]]++
-		m++
-	}
-	flat := make([]int32, 2*m)
-	adj := make([][]int32, b.n)
-	off := 0
-	for u := range adj {
-		adj[u] = flat[off : off : off+int(deg[u])]
-		off += int(deg[u])
-	}
-	prev = [2]int32{-1, -1}
-	for _, e := range b.edges {
-		if e == prev {
-			continue
+		prevS, prevD = s, d
+		for u < s {
+			u++
+			offsets[u] = int32(len(targets))
 		}
-		prev = e
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
+		targets = append(targets, d)
 	}
-	for u := range adj {
-		a := adj[u]
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	for int(u) < n {
+		u++
+		offsets[u] = int32(len(targets))
 	}
-	return &Graph{n: b.n, adj: adj, m: m}
+	return &Graph{n: n, offsets: offsets, targets: targets, m: len(targets) / 2}
+}
+
+// countingSortByKey stably sorts the arc list (src, dst) by the given
+// per-arc key slice into (outS, outD), reusing count as scratch. key
+// values must lie in [0, len(count)-1).
+func countingSortByKey(key, src, dst, outS, outD, count []int32) {
+	for i := range count {
+		count[i] = 0
+	}
+	for _, k := range key {
+		count[k]++
+	}
+	var sum int32
+	for i := range count {
+		c := count[i]
+		count[i] = sum
+		sum += c
+	}
+	for i := range src {
+		p := count[key[i]]
+		count[key[i]]++
+		outS[p], outD[p] = src[i], dst[i]
+	}
 }
 
 // FromAdjacency builds a Graph directly from an adjacency function: for

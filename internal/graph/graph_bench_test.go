@@ -64,3 +64,25 @@ func BenchmarkVertexConnectivityQ6(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNeighborsOfSetDenseQ14 measures the dense-set complement
+// path (the diagnosis workload: the healthy set is all but δ nodes).
+func BenchmarkNeighborsOfSetDenseQ14(b *testing.B) {
+	g := benchCube(14)
+	set := bitset.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		set.Add(u)
+	}
+	for i := 0; i < 14; i++ {
+		set.Remove(i * 1117)
+	}
+	out := bitset.New(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NeighborsOfSetInto(set, out)
+		if out.Count() == 0 {
+			b.Fatal("no boundary")
+		}
+	}
+}

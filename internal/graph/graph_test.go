@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math/rand"
 	"testing"
 
 	"comparisondiag/internal/bitset"
@@ -267,5 +268,78 @@ func TestFromAdjacency(t *testing.T) {
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBuildCountingSortMatchesNaive cross-checks the O(m) counting-sort
+// CSR construction against a naive per-node construction on random
+// multigraphs (duplicates, both orientations, unsorted insertion).
+func TestBuildCountingSortMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		b := NewBuilder(n)
+		type edge struct{ u, v int32 }
+		seen := map[edge]bool{}
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			// Insert in random orientation, sometimes twice.
+			b.MustAddEdge(u, v)
+			if rng.Intn(3) == 0 {
+				b.MustAddEdge(v, u)
+			}
+			if u > v {
+				u, v = v, u
+			}
+			seen[edge{u, v}] = true
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if g.M() != len(seen) {
+			t.Fatalf("trial %d: M=%d, want %d unique edges", trial, g.M(), len(seen))
+		}
+		for e := range seen {
+			if !g.HasEdge(e.u, e.v) || !g.HasEdge(e.v, e.u) {
+				t.Fatalf("trial %d: edge %d-%d missing", trial, e.u, e.v)
+			}
+		}
+	}
+}
+
+// TestNeighborsOfSetDensePath checks the dense-set complement scan of
+// NeighborsOfSetInto against the sparse-path result.
+func TestNeighborsOfSetDensePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := benchCube(8)
+	for trial := 0; trial < 20; trial++ {
+		// Dense set: all nodes except a random handful.
+		set := bitset.New(g.N())
+		for u := 0; u < g.N(); u++ {
+			set.Add(u)
+		}
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			set.Remove(rng.Intn(g.N()))
+		}
+		got := g.NeighborsOfSet(set) // takes the dense path
+		// Reference: per-member neighbour marking.
+		want := bitset.New(g.N())
+		set.ForEach(func(i int) bool {
+			for _, v := range g.Neighbors(int32(i)) {
+				if !set.Contains(int(v)) {
+					want.Add(int(v))
+				}
+			}
+			return true
+		})
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: dense path %v, want %v", trial, got, want)
+		}
 	}
 }

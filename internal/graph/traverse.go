@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"math/bits"
+
 	"comparisondiag/internal/bitset"
 )
 
@@ -20,7 +22,7 @@ func (g *Graph) BFSFrom(src int32, restrict *bitset.Set) []int32 {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if dist[v] != -1 {
 				continue
 			}
@@ -62,7 +64,7 @@ func (g *Graph) componentSizeFrom(src int32, restrict *bitset.Set) int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if seen.Contains(int(v)) {
 				continue
 			}
@@ -92,7 +94,7 @@ func (g *Graph) Components() [][]int32 {
 			u := queue[0]
 			queue = queue[1:]
 			comp = append(comp, u)
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(u) {
 				if !seen.Contains(int(v)) {
 					seen.Add(int(v))
 					queue = append(queue, v)
@@ -124,15 +126,56 @@ func (g *Graph) Eccentricity(src int32) int {
 // least one member of `set` — the set N of Theorem 1.
 func (g *Graph) NeighborsOfSet(set *bitset.Set) *bitset.Set {
 	out := bitset.New(g.n)
-	set.ForEach(func(i int) bool {
-		for _, v := range g.adj[i] {
-			if !set.Contains(int(v)) {
+	g.NeighborsOfSetInto(set, out)
+	return out
+}
+
+// NeighborsOfSetInto computes NeighborsOfSet into out, which is cleared
+// first — the allocation-free variant for callers holding scratch. Both
+// member loops run word-level over the bitset (no per-member closure).
+// For sparse sets it marks every neighbour unconditionally and removes
+// the members with one final Subtract, which is cheaper than a Contains
+// check per visited arc; for dense sets (the diagnosis case, where the
+// healthy set is all but ≤ δ nodes) it scans the small complement and
+// asks each outside node whether any neighbour is a member, touching
+// O(|V\set|·Δ) arcs instead of O(|set|·Δ).
+func (g *Graph) NeighborsOfSetInto(set, out *bitset.Set) {
+	if set.Len() != g.n {
+		panic("graph: NeighborsOfSet capacity mismatch with graph size")
+	}
+	out.Clear()
+	words := set.Words()
+	if 2*set.Count() > g.n {
+		for wi, w := range words {
+			inv := ^w
+			if wi == len(words)-1 {
+				if tail := uint(g.n & 63); tail != 0 {
+					inv &= (1 << tail) - 1
+				}
+			}
+			for inv != 0 {
+				v := int32(wi<<6 + bits.TrailingZeros64(inv))
+				inv &= inv - 1
+				for _, u := range g.targets[g.offsets[v]:g.offsets[v+1]] {
+					if set.Contains(int(u)) {
+						out.Add(int(v))
+						break
+					}
+				}
+			}
+		}
+		return
+	}
+	for wi, w := range words {
+		for w != 0 {
+			u := int32(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			for _, v := range g.targets[g.offsets[u]:g.offsets[u+1]] {
 				out.Add(int(v))
 			}
 		}
-		return true
-	})
-	return out
+	}
+	out.Subtract(set)
 }
 
 // ArticulationPoints returns the cut vertices of the graph (Tarjan's
@@ -162,8 +205,8 @@ func (g *Graph) ArticulationPoints() []int32 {
 		timer++
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.ai < len(g.adj[f.u]) {
-				v := g.adj[f.u][f.ai]
+			if f.ai < g.Degree(f.u) {
+				v := g.Neighbors(f.u)[f.ai]
 				f.ai++
 				if disc[v] == -1 {
 					parent[v] = f.u

@@ -1,0 +1,175 @@
+// Package perf is the repository's benchmark-regression harness: a
+// fixed suite of hot-path measurements (diagnosis end-to-end, the final
+// Set_Builder pass, graph construction, boundary extraction) run via
+// testing.Benchmark and serialised as JSON. cmd/benchtab's -json mode
+// writes the suite to a BENCH_<n>.json file; committing one per PR
+// gives the project a perf trajectory that future changes are compared
+// against (ns/op, lookups/op and allocs/op per experiment).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/core"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"` // iterations run
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	LookupsPerOp float64 `json:"lookups_per_op,omitempty"` // syndrome consultations
+}
+
+// Report is the file-level JSON document.
+type Report struct {
+	Schema  int      `json:"schema"`
+	GoOS    string   `json:"goos"`
+	GoArch  string   `json:"goarch"`
+	Results []Result `json:"results"`
+}
+
+// run wraps testing.Benchmark. oneOp, when non-nil, performs exactly
+// one operation and returns its syndrome look-up count; it is invoked
+// once after the timing runs, so lookups_per_op is the operation's
+// exact, deterministic count — testing.Benchmark ramps b.N over several
+// runs, which would otherwise smear the counter across an unknown
+// number of iterations.
+func run(name string, oneOp func() int64, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	res := Result{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if oneOp != nil {
+		res.LookupsPerOp = float64(oneOp())
+	}
+	return res
+}
+
+// diagnoseCase measures DiagnoseOpts end-to-end on one network with δ
+// random faults under the mimic adversary — the same configuration as
+// the repository's Theorem 2 benchmark.
+func diagnoseCase(nw topology.Network) Result {
+	g := nw.Graph()
+	rng := rand.New(rand.NewSource(1))
+	F := syndrome.RandomFaults(g.N(), nw.Diagnosability(), rng)
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	op := func() int64 {
+		before := s.Lookups()
+		got, _, err := core.Diagnose(nw, s)
+		if err != nil {
+			panic(err)
+		}
+		if !got.Equal(F) {
+			panic("misdiagnosis")
+		}
+		return s.Lookups() - before
+	}
+	return run("diagnose/"+nw.Name(), op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
+// setBuilderCase measures the warm-scratch SetBuilderInto pass alone.
+func setBuilderCase(nw topology.Network) Result {
+	g := nw.Graph()
+	F := syndrome.RandomFaults(g.N(), nw.Diagnosability(), rand.New(rand.NewSource(7)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	seed := int32(0)
+	for F.Contains(int(seed)) {
+		seed++
+	}
+	sc := core.NewScratch(g.N())
+	delta := nw.Diagnosability()
+	op := func() int64 {
+		r := core.SetBuilderInto(sc, g, s, seed, delta, nil)
+		if r.U.Count() == 0 {
+			panic("empty result")
+		}
+		return r.Lookups
+	}
+	return run("setbuilder/"+nw.Name(), op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
+// graphBuildCase measures CSR construction of Q_n via the Builder.
+func graphBuildCase(n int) Result {
+	return run(fmt.Sprintf("graphbuild/Q%d", n), nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nw := topology.NewHypercube(n)
+			if nw.Graph().N() != 1<<uint(n) {
+				b.Fatal("bad size")
+			}
+		}
+	})
+}
+
+// boundaryCase measures NeighborsOfSetInto on the diagnosis-shaped
+// dense set (all nodes healthy but δ).
+func boundaryCase(n int) Result {
+	nw := topology.NewHypercube(n)
+	g := nw.Graph()
+	F := syndrome.RandomFaults(g.N(), n, rand.New(rand.NewSource(9)))
+	set := bitset.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		if !F.Contains(u) {
+			set.Add(u)
+		}
+	}
+	out := bitset.New(g.N())
+	return run(fmt.Sprintf("neighborsofset/Q%d", n), nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.NeighborsOfSetInto(set, out)
+			if out.Count() == 0 {
+				b.Fatal("no boundary")
+			}
+		}
+	})
+}
+
+// Suite runs the regression suite and returns the report.
+func Suite() *Report {
+	rep := &Report{Schema: 1, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	for _, n := range []int{8, 10, 12, 14} {
+		rep.Results = append(rep.Results, diagnoseCase(topology.NewHypercube(n)))
+	}
+	rep.Results = append(rep.Results,
+		diagnoseCase(topology.NewStar(8)),
+		diagnoseCase(topology.NewKAryNCube(4, 4)),
+		setBuilderCase(topology.NewHypercube(12)),
+		setBuilderCase(topology.NewHypercube(14)),
+		graphBuildCase(14),
+		boundaryCase(14),
+	)
+	return rep
+}
+
+// Write serialises the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

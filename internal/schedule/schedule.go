@@ -15,7 +15,7 @@
 package schedule
 
 import (
-	"sort"
+	"slices"
 
 	"comparisondiag/internal/bitset"
 	"comparisondiag/internal/graph"
@@ -123,18 +123,18 @@ func Greedy(tests []Test, n int) *Plan {
 		}
 		return m
 	}
-	sort.SliceStable(ts, func(i, j int) bool {
-		ki, kj := key(ts[i]), key(ts[j])
-		if ki != kj {
-			return ki > kj
+	slices.SortStableFunc(ts, func(a, b Test) int {
+		ka, kb := key(a), key(b)
+		if ka != kb {
+			return int(kb - ka)
 		}
-		if ts[i].U != ts[j].U {
-			return ts[i].U < ts[j].U
+		if a.U != b.U {
+			return int(a.U - b.U)
 		}
-		if ts[i].V != ts[j].V {
-			return ts[i].V < ts[j].V
+		if a.V != b.V {
+			return int(a.V - b.V)
 		}
-		return ts[i].W < ts[j].W
+		return int(a.W - b.W)
 	})
 
 	plan := &Plan{Tests: len(ts)}

@@ -2,7 +2,7 @@ package syndrome
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"comparisondiag/internal/bitset"
 	"comparisondiag/internal/graph"
@@ -39,11 +39,11 @@ func ClusterFaults(g *graph.Graph, center int32, size int) *bitset.Set {
 			order = append(order, int32(u))
 		}
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if dist[order[i]] != dist[order[j]] {
-			return dist[order[i]] < dist[order[j]]
+	slices.SortFunc(order, func(a, b int32) int {
+		if dist[a] != dist[b] {
+			return int(dist[a] - dist[b])
 		}
-		return order[i] < order[j]
+		return int(a - b)
 	})
 	for i := 0; i < size && i < len(order); i++ {
 		f.Add(int(order[i]))

@@ -2,6 +2,7 @@ package syndrome
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"comparisondiag/internal/bitset"
@@ -247,5 +248,61 @@ func TestNeighborhoodFaults(t *testing.T) {
 	full := NeighborhoodFaults(g, 0, 10)
 	if full.Count() != 3 {
 		t.Fatalf("full neighbourhood should have 3 nodes: %v", full)
+	}
+}
+
+// TestShardedLookupCounting pins the counting contract across all three
+// modes: direct (plain counter), per-worker shards, and the striped
+// concurrent view. Every Test must be counted exactly once.
+func TestShardedLookupCounting(t *testing.T) {
+	F := bitset.New(64)
+	F.Add(3)
+	l := NewLazy(F, Mimic{})
+
+	// Direct sequential counting.
+	for i := 0; i < 10; i++ {
+		l.Test(1, 0, 2)
+	}
+	if l.Lookups() != 10 {
+		t.Fatalf("sequential: %d lookups, want 10", l.Lookups())
+	}
+	l.ResetLookups()
+
+	// Per-worker shards, merged on Close.
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := l.Shard()
+			defer sh.Close()
+			for i := 0; i < per; i++ {
+				u := int32(1 + i%62)
+				sh.Test(u, u-1, u+1)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Lookups() != workers*per {
+		t.Fatalf("shards: %d lookups, want %d", l.Lookups(), workers*per)
+	}
+	l.ResetLookups()
+
+	// Striped concurrent view.
+	c := ForConcurrent(l)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				u := int32(1 + (w*per+i)%62)
+				c.Test(u, u-1, u+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Lookups() != workers*per {
+		t.Fatalf("concurrent view: %d lookups, want %d", l.Lookups(), workers*per)
 	}
 }

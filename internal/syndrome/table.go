@@ -1,7 +1,7 @@
 package syndrome
 
 import (
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"comparisondiag/internal/graph"
@@ -70,8 +70,8 @@ func (t *Table) Test(u, v, w int32) int {
 }
 
 func neighborIndex(adj []int32, v int32) int {
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	if i >= len(adj) || adj[i] != v {
+	i, ok := slices.BinarySearch(adj, v)
+	if !ok {
 		panic("syndrome: Test argument is not a neighbour of the tester")
 	}
 	return i

@@ -14,6 +14,7 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"comparisondiag/internal/bitset"
 	"comparisondiag/internal/graph"
@@ -53,13 +54,16 @@ var ErrNoPartition = errors.New("topology: no partition with requested part size
 // (i+1)·size) — the natural shape for dimensional networks where a part
 // is "fix the high digits". seedOffset picks the seed within each range.
 func rangeParts(total, size int) []Part {
+	// One flat backing array for every part's Nodes: Diagnose recomputes
+	// the partition per call, so building total/size separate slices
+	// would dominate its allocation profile.
+	flat := make([]int32, total)
+	for i := range flat {
+		flat[i] = int32(i)
+	}
 	parts := make([]Part, 0, total/size)
 	for lo := 0; lo < total; lo += size {
-		nodes := make([]int32, size)
-		for i := range nodes {
-			nodes[i] = int32(lo + i)
-		}
-		parts = append(parts, Part{Nodes: nodes, Seed: int32(lo)})
+		parts = append(parts, Part{Nodes: flat[lo : lo+size : lo+size], Seed: int32(lo)})
 	}
 	return parts
 }
@@ -68,7 +72,20 @@ func rangeParts(total, size int) []Part {
 // the natural shape for permutation networks where a part is "fix the
 // last j positions". Keys must be in [0, numKeys).
 func groupParts(n, numKeys int, key func(u int32) int) []Part {
+	// Counting pass, then one flat backing array shared by all buckets
+	// (same allocation-profile concern as rangeParts). Node ids are
+	// assigned in ascending order, so each bucket comes out sorted.
+	counts := make([]int32, numKeys)
+	for u := int32(0); int(u) < n; u++ {
+		counts[key(u)]++
+	}
+	flat := make([]int32, n)
 	buckets := make([][]int32, numKeys)
+	off := int32(0)
+	for k, c := range counts {
+		buckets[k] = flat[off : off : off+c]
+		off += c
+	}
 	for u := int32(0); int(u) < n; u++ {
 		k := key(u)
 		buckets[k] = append(buckets[k], u)
@@ -255,20 +272,7 @@ func findDonation(g *graph.Graph, mask, pool *bitset.Set) (int32, int32, bool) {
 	return -1, -1, false
 }
 
-func sortInt32(a []int32) {
-	// Simple shell sort: avoids pulling in sort for hot construction
-	// paths and is fine at part sizes.
-	for gap := len(a) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(a); i++ {
-			v := a[i]
-			j := i
-			for ; j >= gap && a[j-gap] > v; j -= gap {
-				a[j] = a[j-gap]
-			}
-			a[j] = v
-		}
-	}
-}
+func sortInt32(a []int32) { slices.Sort(a) }
 
 // ValidatePartition checks the Theorem 1 preconditions for a partition:
 // parts disjoint, each connected in g, each with at least minSize nodes

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, vet, full test suite, and the race
+# detector over the packages that exercise concurrency (parallel part
+# certification with sharded look-up counters, campaign sweeps).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/core/ ./internal/campaign/
