@@ -7,9 +7,15 @@
 //	diagnose -net q:10 -faults 10 -behavior mimic -seed 42
 //	diagnose -net star:7 -faults 6 -pattern cluster
 //	diagnose -net nkstar:6,2 -faults 3          # verification fallback
+//	diagnose -net q:14 -trials 64 -workers 4    # batch via the Engine
 //
 // Patterns: random (default), cluster (BFS ball around node 0),
 // neighborhood (the extremal N(center) configuration).
+//
+// With -trials > 1 the command binds a core.Engine to the network once,
+// generates that many independent syndromes, runs Engine.DiagnoseBatch
+// across -workers workers and reports aggregate throughput
+// (diagnoses/sec) beside the per-syndrome verdicts.
 package main
 
 import (
@@ -33,9 +39,10 @@ func main() {
 	behaviorName := flag.String("behavior", "mimic", "faulty tester behaviour: allzero|allone|mimic|inverted|random")
 	pattern := flag.String("pattern", "random", "fault placement: random|cluster|neighborhood")
 	seed := flag.Int64("seed", 1, "PRNG seed")
-	workers := flag.Int("workers", 1, "parallel part certification (-1 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "parallel part certification; with -trials > 1, the batch worker-pool size (-1 = GOMAXPROCS)")
 	bound := flag.Int("bound", 0, "known fault bound t < δ (0 = use δ)")
 	paper := flag.Bool("paper-certificate", false, "use the paper's literal contributor certificate (see gap G1)")
+	trials := flag.Int("trials", 1, "number of syndromes to diagnose; > 1 exercises Engine.DiagnoseBatch")
 	flag.Parse()
 
 	nw, err := topology.Parse(*netSpec)
@@ -53,18 +60,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %d faults exceed δ = %d; diagnosis is not guaranteed\n", nFaults, delta)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	var F *bitset.Set
-	switch strings.ToLower(*pattern) {
-	case "random":
-		F = syndrome.RandomFaults(g.N(), nFaults, rng)
-	case "cluster":
-		F = syndrome.ClusterFaults(g, 0, nFaults)
-	case "neighborhood":
-		F = syndrome.NeighborhoodFaults(g, int32(g.N()/2), nFaults)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
-		os.Exit(2)
+	// makeFaults builds trial i's fault set. Trial 0 reproduces the
+	// single-diagnosis placements exactly (cluster around node 0,
+	// neighbourhood of the middle node); later batch trials move the
+	// centre so every syndrome is a distinct case.
+	makeFaults := func(i int) *bitset.Set {
+		switch strings.ToLower(*pattern) {
+		case "random":
+			return syndrome.RandomFaults(g.N(), nFaults, rand.New(rand.NewSource(*seed+int64(i))))
+		case "cluster":
+			return syndrome.ClusterFaults(g, int32(i%g.N()), nFaults)
+		case "neighborhood":
+			return syndrome.NeighborhoodFaults(g, int32((g.N()/2+i)%g.N()), nFaults)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+			os.Exit(2)
+			return nil
+		}
 	}
 
 	var behavior syndrome.Behavior
@@ -86,6 +98,17 @@ func main() {
 
 	fmt.Printf("network     %s: N=%d, M=%d, Δ=%d, κ=%d, δ=%d\n",
 		nw.Name(), g.N(), g.M(), g.MaxDegree(), nw.Connectivity(), delta)
+
+	if *trials > 1 {
+		opt := core.Options{FaultBound: *bound}
+		if *paper {
+			opt.Strategy = core.StrategyPaper
+		}
+		runBatch(nw, behavior, makeFaults, *trials, *workers, opt)
+		return
+	}
+
+	F := makeFaults(0)
 	fmt.Printf("injected    %d faults (%s, %s testers): %v\n", F.Count(), *pattern, behavior.Name(), F)
 
 	opt := core.Options{Workers: *workers, FaultBound: *bound}
@@ -122,6 +145,55 @@ func main() {
 		fmt.Println("verdict     EXACT — diagnosed set equals injected set")
 	} else {
 		fmt.Println("verdict     MISMATCH")
+		os.Exit(1)
+	}
+}
+
+// runBatch binds an Engine to the network, diagnoses `trials`
+// independent syndromes through Engine.DiagnoseBatch and reports
+// aggregate throughput.
+func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(int) *bitset.Set, trials, workers int, opt core.Options) {
+	eng := core.NewEngine(nw)
+	if err := eng.PartsErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "batch mode needs a Theorem 1 partition:", err)
+		os.Exit(1)
+	}
+	syns := make([]syndrome.Syndrome, trials)
+	faults := make([]*bitset.Set, trials)
+	for i := range syns {
+		faults[i] = makeFaults(i)
+		syns[i] = syndrome.NewLazy(faults[i], behavior)
+	}
+	fmt.Printf("batch       %d syndromes, %d faults each (%s testers), %d workers\n",
+		trials, faults[0].Count(), behavior.Name(), workers)
+
+	start := time.Now()
+	results := eng.DiagnoseBatch(syns, core.BatchOptions{Workers: workers, Options: opt})
+	elapsed := time.Since(start)
+
+	exact, failed := 0, 0
+	var lookups int64
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(os.Stderr, "syndrome %d: %v\n", i, r.Err)
+			failed++
+		case !r.Faults.Equal(faults[i]):
+			fmt.Fprintf(os.Stderr, "syndrome %d: MISMATCH\n", i)
+			failed++
+		default:
+			exact++
+			lookups += r.Stats.TotalLookups
+		}
+	}
+	perDiag := elapsed / time.Duration(trials)
+	fmt.Printf("throughput  %v total, %v/diagnosis, %.0f diagnoses/sec\n",
+		elapsed, perDiag, float64(trials)/elapsed.Seconds())
+	if exact > 0 {
+		fmt.Printf("lookups     avg %d per diagnosis\n", lookups/int64(exact))
+	}
+	fmt.Printf("verdict     %d exact, %d failed\n", exact, failed)
+	if failed > 0 {
 		os.Exit(1)
 	}
 }

@@ -22,6 +22,29 @@ func ExampleDiagnose() {
 	// Output: {3 77 200}
 }
 
+// Serving many syndromes against one fixed network: bind an Engine
+// once, then diagnose in batch. results[i] always corresponds to
+// syndromes[i], and every result matches what a sequential Diagnose
+// call would return — look-up counts included.
+func ExampleEngine() {
+	nw := cd.NewHypercube(8)
+	eng := cd.NewEngine(nw)
+
+	syndromes := make([]cd.Syndrome, 4)
+	for i := range syndromes {
+		faults := cd.FaultSetOf(256, []int32{int32(10 * (i + 1)), 200})
+		syndromes[i] = cd.NewLazySyndrome(faults, cd.Mimic{})
+	}
+	for _, r := range eng.DiagnoseBatch(syndromes, cd.BatchOptions{Workers: 2}) {
+		fmt.Println(r.Faults, r.Err == nil)
+	}
+	// Output:
+	// {10 200} true
+	// {20 200} true
+	// {30 200} true
+	// {40 200} true
+}
+
 // Networks can be built from compact textual specs, which all the
 // command-line tools share.
 func ExampleParseNetwork() {

@@ -140,9 +140,12 @@ func (s *Set) Intersects(o *Set) bool {
 }
 
 // Words exposes the backing word array (word i holds members
-// [64i, 64i+63]). Callers must treat it as read-only; it exists so hot
-// loops (e.g. graph.NeighborsOfSetInto) can iterate members word-level
-// without a closure call per member.
+// [64i, 64i+63]). It exists so hot loops can work member-wise at word
+// level: readers (e.g. graph.NeighborsOfSetInto) iterate without a
+// closure call per member, and owning kernels (the engine's final
+// Set_Builder passes) set and clear bits in place — sound because a
+// Set holds no derived state beyond the words. Non-owners must treat
+// the slice as read-only, and nobody may resize it.
 func (s *Set) Words() []uint64 { return s.words }
 
 // ForEach calls f for every member in ascending order. If f returns

@@ -61,7 +61,12 @@ type Config struct {
 	Workers int
 }
 
-// Sweep runs the campaign against core.Diagnose on the network.
+// Sweep runs the campaign against the network through a core.Engine
+// bound once per sweep: the partition is built a single time, every
+// worker owns a dedicated scratch for its whole lifetime, and each
+// worker reseeds one PRNG per trial instead of constructing one — the
+// steady-state trial loop allocates only the fault set and syndrome of
+// the trial itself.
 func Sweep(nw topology.Network, cfg Config) []Point {
 	if cfg.Behavior == nil {
 		cfg.Behavior = syndrome.Mimic{}
@@ -69,9 +74,10 @@ func Sweep(nw topology.Network, cfg Config) []Point {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	g := nw.Graph()
-	delta := nw.Diagnosability()
-	parts, perr := nw.Parts(delta+1, delta+1)
+	eng := core.NewEngine(nw)
+	g := eng.Graph()
+	delta := eng.Diagnosability()
+	perr := eng.PartsErr()
 
 	var points []Point
 	for f := cfg.MinFaults; f <= cfg.MaxFaults; f++ {
@@ -90,9 +96,15 @@ func Sweep(nw topology.Network, cfg Config) []Point {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				sc := eng.AcquireScratch()
+				defer eng.ReleaseScratch(sc)
+				opt := core.Options{Scratch: sc}
+				rng := rand.New(rand.NewSource(0))
 				for i := lo; i < hi; i++ {
-					// Per-trial deterministic seed.
-					rng := rand.New(rand.NewSource(cfg.Seed + int64(f)*1_000_003 + int64(i)))
+					// Per-trial deterministic seed: reseeding reproduces
+					// exactly the stream a fresh rand.NewSource would give,
+					// without the per-trial allocation.
+					rng.Seed(cfg.Seed + int64(f)*1_000_003 + int64(i))
 					F := syndrome.RandomFaults(g.N(), f, rng)
 					s := syndrome.NewLazy(F, cfg.Behavior)
 					if perr != nil {
@@ -101,7 +113,7 @@ func Sweep(nw topology.Network, cfg Config) []Point {
 						results[i] = classify(got != nil && got.Equal(F), err)
 						continue
 					}
-					got, _, err := core.DiagnoseGraph(g, delta, parts, s, core.Options{})
+					got, _, err := eng.DiagnoseOpts(s, opt)
 					results[i] = classify(got != nil && got.Equal(F), err)
 				}
 			}(lo, hi)

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// Engine is a diagnosis handle bound once to a network: it precomputes
+// and owns everything syndrome-independent — the Theorem 1 partition
+// (plus tightened partitions per FaultBound, built lazily), the part
+// candidate order, and a pool of correctly sized Scratches — so that
+// serving many syndromes against one fixed network pays the setup cost
+// once instead of per call.
+//
+// The free functions (Diagnose, DiagnoseOpts, DiagnoseGraph) remain the
+// paper-literal reference path and rebuild that state per call; the
+// Engine is the serving path. Both produce identical fault sets, stats
+// and syndrome look-up counts for the same inputs: the engine's
+// specialised final Set_Builder pass (see setBuilderLazyInto) consults
+// exactly the same test prefix per node as the reference loop.
+//
+// An Engine is safe for concurrent use: Diagnose and DiagnoseBatch may
+// be called from many goroutines at once, as long as each individual
+// Syndrome still follows its own concurrency contract (a *syndrome.Lazy
+// belongs to one call at a time; see syndrome.Syndrome).
+type Engine struct {
+	nw    topology.Network // nil for graph-bound engines
+	name  string
+	g     *graph.Graph
+	delta int
+
+	parts    []topology.Part // default δ partition; nil iff partsErr != nil
+	partsErr error
+
+	mu       sync.Mutex
+	tight    map[int][]topology.Part // FaultBound-tightened partitions
+	tightErr map[int]error
+
+	// xorMasks is the mask set of an XOR-Cayley graph (hypercubes and
+	// relatives), detected once at bind time; nil for other topologies.
+	// It routes the final pass through the word-parallel kernel.
+	xorMasks []int32
+
+	pool sync.Pool // *Scratch sized for g
+}
+
+// NewEngine binds an engine to the network, eagerly building the
+// default partition for δ = nw.Diagnosability(). Construction never
+// fails: on gap-G3 instances with no Theorem 1 partition the error is
+// recorded and returned by PartsErr and by every Diagnose call, so
+// callers can route to DiagnoseWithVerification once instead of
+// handling errors per syndrome.
+func NewEngine(nw topology.Network) *Engine {
+	e := &Engine{
+		nw:    nw,
+		name:  nw.Name(),
+		g:     nw.Graph(),
+		delta: nw.Diagnosability(),
+	}
+	e.parts, e.partsErr = nw.Parts(e.delta+1, e.delta+1)
+	e.xorMasks = xorCayleyMasks(e.g)
+	return e
+}
+
+// NewGraphEngine binds an engine to an explicit graph, fault bound and
+// partition — the DiagnoseGraph analogue for callers that construct
+// their own topology. The parts must satisfy the Theorem 1
+// preconditions for delta (see topology.ValidatePartition). Binding is
+// O(1): unlike NewEngine, no adjacency-structure detection runs, so
+// graph-bound engines always use the generic final-pass kernels.
+func NewGraphEngine(g *graph.Graph, delta int, parts []topology.Part) *Engine {
+	return &Engine{name: "graph", g: g, delta: delta, parts: parts}
+}
+
+// Graph returns the bound graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Network returns the bound network, or nil for graph-bound engines.
+func (e *Engine) Network() topology.Network { return e.nw }
+
+// Diagnosability returns the fault bound δ the engine was bound with.
+func (e *Engine) Diagnosability() int { return e.delta }
+
+// Parts returns the precomputed default partition (or the recorded
+// construction error).
+func (e *Engine) Parts() ([]topology.Part, error) { return e.parts, e.partsErr }
+
+// PartsErr reports whether the network admitted a Theorem 1 partition
+// at bind time; non-nil means every Diagnose call will fail the same
+// way and the caller should use DiagnoseWithVerification.
+func (e *Engine) PartsErr() error { return e.partsErr }
+
+// partsFor returns a partition valid for the given fault bound. The
+// default bound returns the bind-time partition without locking (the
+// allocation-free hot path). Tighter bounds are built once per distinct
+// value and cached — successes and failures alike, so the engine
+// returns exactly what the free DiagnoseOpts would have (same parts or
+// the same construction error), preserving the documented equivalence.
+func (e *Engine) partsFor(bound int) ([]topology.Part, error) {
+	if bound >= e.delta || e.nw == nil {
+		return e.parts, e.partsErr
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.tight[bound]; ok {
+		return p, e.tightErr[bound]
+	}
+	p, err := e.nw.Parts(bound+1, bound+1)
+	if e.tight == nil {
+		e.tight = make(map[int][]topology.Part)
+		e.tightErr = make(map[int]error)
+	}
+	e.tight[bound], e.tightErr[bound] = p, err
+	return p, err
+}
+
+// AcquireScratch returns a scratch sized for the engine's graph, drawn
+// from the engine's own pool. Callers that diagnose in a loop (one
+// worker, many syndromes) should acquire once, pass it via
+// Options.Scratch, and release when done; ReleaseScratch returns it to
+// the pool.
+func (e *Engine) AcquireScratch() *Scratch {
+	if v := e.pool.Get(); v != nil {
+		sc := v.(*Scratch)
+		sc.ensure(e.g.N())
+		return sc
+	}
+	return NewScratch(e.g.N())
+}
+
+// ReleaseScratch returns a scratch obtained from AcquireScratch to the
+// engine's pool. Results handed out against the scratch (fault set and
+// Stats views) become invalid.
+func (e *Engine) ReleaseScratch(sc *Scratch) { e.pool.Put(sc) }
+
+// Diagnose solves the fault diagnosis problem for one syndrome using
+// the engine's precomputed state and default Options. The returned
+// fault set and Stats are caller-owned copies.
+func (e *Engine) Diagnose(s syndrome.Syndrome) (*bitset.Set, *Stats, error) {
+	return e.DiagnoseOpts(s, Options{})
+}
+
+// DiagnoseOpts is Diagnose with explicit Options. Semantics match the
+// free DiagnoseOpts — same fault sets, same Stats, same syndrome
+// look-up counts — with the per-call partition construction replaced by
+// the engine's precomputed state and the final Set_Builder pass run
+// through the engine's specialised kernel when the syndrome is a
+// *syndrome.Lazy. With Options.Scratch set the call is allocation-free
+// in steady state and the results are scratch views (see Scratch).
+func (e *Engine) DiagnoseOpts(s syndrome.Syndrome, opt Options) (*bitset.Set, *Stats, error) {
+	delta := e.delta
+	if opt.FaultBound > 0 && opt.FaultBound < delta {
+		delta = opt.FaultBound
+	}
+	parts := opt.Parts
+	if parts == nil {
+		var err error
+		parts, err = e.partsFor(delta)
+		if err != nil {
+			return nil, nil, fmt.Errorf("diagnosing %s: %w", e.name, err)
+		}
+	}
+	opt.fastFinal = true
+	opt.xorMasks = e.xorMasks
+	if opt.Scratch != nil {
+		return diagnoseInto(opt.Scratch, e.g, delta, parts, s, opt)
+	}
+	sc := e.AcquireScratch()
+	faults, stats, err := diagnoseInto(sc, e.g, delta, parts, s, opt)
+	faults, stats = cloneResults(faults, stats)
+	e.ReleaseScratch(sc)
+	return faults, stats, err
+}
+
+// BatchOptions tunes DiagnoseBatch.
+type BatchOptions struct {
+	// Workers is the size of the worker pool diagnosing syndromes
+	// concurrently; 0 or negative means GOMAXPROCS. Each worker owns a
+	// dedicated Scratch from the engine pool, so steady-state batches
+	// allocate only the caller-owned results.
+	Workers int
+	// Options applies to every diagnosis in the batch. Scratch is
+	// ignored (workers bind their own); Workers inside Options still
+	// selects parallel part certification per syndrome and composes
+	// with the batch pool — leave it 0 for the deterministic,
+	// lookup-identical sequential path.
+	Options Options
+}
+
+// BatchResult is the outcome of one syndrome in a DiagnoseBatch call.
+// Faults and Stats are caller-owned (never scratch views).
+type BatchResult struct {
+	Faults *bitset.Set
+	Stats  Stats
+	Err    error
+}
+
+// DiagnoseBatch diagnoses many syndromes against the bound network
+// through a worker pool, amortising all syndrome-independent setup.
+// results[i] always corresponds to syndromes[i] regardless of worker
+// scheduling, and each syndrome's fault set and look-up count are
+// identical to what a sequential Diagnose call would produce — batching
+// changes throughput, not answers.
+//
+// Each syndrome is driven by exactly one worker, so plain *syndrome.Lazy
+// syndromes are safe here; the syndromes themselves must be distinct.
+func (e *Engine) DiagnoseBatch(syndromes []syndrome.Syndrome, opt BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(syndromes))
+	if len(syndromes) == 0 {
+		return results
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(syndromes) {
+		workers = len(syndromes)
+	}
+	if workers == 1 {
+		sc := e.AcquireScratch()
+		for i, s := range syndromes {
+			results[i] = e.diagnoseOne(s, opt.Options, sc)
+		}
+		e.ReleaseScratch(sc)
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := e.AcquireScratch()
+			defer e.ReleaseScratch(sc)
+			for {
+				i := next.Add(1)
+				if i >= int64(len(syndromes)) {
+					return
+				}
+				results[i] = e.diagnoseOne(syndromes[i], opt.Options, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// diagnoseOne runs one batch element on a worker-owned scratch and
+// copies the results out of it.
+func (e *Engine) diagnoseOne(s syndrome.Syndrome, opt Options, sc *Scratch) BatchResult {
+	opt.Scratch = sc
+	faults, stats, err := e.DiagnoseOpts(s, opt)
+	var r BatchResult
+	if faults != nil {
+		r.Faults = faults.Clone()
+	}
+	if stats != nil {
+		r.Stats = *stats
+	}
+	r.Err = err
+	return r
+}
+
+// cloneResults copies scratch-view diagnosis results into caller-owned
+// values (nil-safe on both).
+func cloneResults(faults *bitset.Set, stats *Stats) (*bitset.Set, *Stats) {
+	var f *bitset.Set
+	if faults != nil {
+		f = faults.Clone()
+	}
+	var st *Stats
+	if stats != nil {
+		cp := *stats
+		st = &cp
+	}
+	return f, st
+}

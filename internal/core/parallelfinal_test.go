@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// TestSetBuilderParallelMatchesSequential pins the parallel final
+// pass's determinism contract: U, Parent, Contributors, Rounds and
+// AllHealthy are identical to the sequential SetBuilder (only the
+// look-up count may grow), and the look-up accounting through the
+// shard views stays exact.
+func TestSetBuilderParallelMatchesSequential(t *testing.T) {
+	for _, nw := range []topology.Network{
+		topology.NewHypercube(12), // crosses the per-round parallel threshold
+		topology.NewHypercube(9),
+		topology.NewStar(7),
+	} {
+		g := nw.Graph()
+		delta := nw.Diagnosability()
+		for trial := int64(0); trial < 4; trial++ {
+			F := syndrome.RandomFaults(g.N(), delta, rand.New(rand.NewSource(trial)))
+			seed := int32(0)
+			for F.Contains(int(seed)) {
+				seed++
+			}
+
+			sSeq := syndrome.NewLazy(F, syndrome.Mimic{})
+			seq := SetBuilder(g, sSeq, seed, delta, nil)
+
+			sPar := syndrome.NewLazy(F, syndrome.Mimic{})
+			par := SetBuilderParallel(g, sPar, seed, delta, nil, 4)
+
+			if !seq.U.Equal(par.U) {
+				t.Fatalf("%s trial %d: U differs", nw.Name(), trial)
+			}
+			if !slices.Equal(seq.Parent, par.Parent) {
+				t.Fatalf("%s trial %d: Parent tree differs", nw.Name(), trial)
+			}
+			if !seq.Contributors.Equal(par.Contributors) {
+				t.Fatalf("%s trial %d: Contributors differ", nw.Name(), trial)
+			}
+			if seq.Rounds != par.Rounds || seq.AllHealthy != par.AllHealthy {
+				t.Fatalf("%s trial %d: rounds/AllHealthy differ: %d/%v vs %d/%v",
+					nw.Name(), trial, seq.Rounds, seq.AllHealthy, par.Rounds, par.AllHealthy)
+			}
+			if par.Lookups < seq.Lookups {
+				t.Fatalf("%s trial %d: parallel pass reported fewer look-ups (%d) than sequential (%d)",
+					nw.Name(), trial, par.Lookups, seq.Lookups)
+			}
+			if sPar.Lookups() != par.Lookups {
+				t.Fatalf("%s trial %d: shard accounting drifted: syndrome %d vs result %d",
+					nw.Name(), trial, sPar.Lookups(), par.Lookups)
+			}
+		}
+	}
+}
+
+// TestSetBuilderParallelRestricted checks the restricted variant (the
+// per-part Set_Builder shape) keeps growth inside the restriction.
+func TestSetBuilderParallelRestricted(t *testing.T) {
+	nw := topology.NewHypercube(10)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	parts, err := nw.Parts(delta+1, delta+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	F := syndrome.RandomFaults(g.N(), delta, rand.New(rand.NewSource(5)))
+	restrict := topologyPartMask(g.N(), parts[3])
+
+	sSeq := syndrome.NewLazy(F, syndrome.Mimic{})
+	seq := SetBuilder(g, sSeq, parts[3].Seed, delta, restrict)
+	sPar := syndrome.NewLazy(F, syndrome.Mimic{})
+	par := SetBuilderParallel(g, sPar, parts[3].Seed, delta, restrict, 3)
+
+	if !seq.U.Equal(par.U) {
+		t.Fatal("restricted U differs")
+	}
+	if !par.U.IsSubsetOf(restrict) {
+		t.Fatal("parallel growth escaped the restriction")
+	}
+}
+
+// TestDiagnoseFinalWorkersMatchesSequential runs the whole diagnosis
+// with a parallel final pass on a graph past the size gate and checks
+// the fault set matches the sequential result.
+func TestDiagnoseFinalWorkersMatchesSequential(t *testing.T) {
+	nw := topology.NewHypercube(12) // 4096 nodes: exactly at the gate
+	delta := nw.Diagnosability()
+	for trial := int64(0); trial < 3; trial++ {
+		F := syndrome.RandomFaults(nw.Graph().N(), delta, rand.New(rand.NewSource(trial)))
+		sSeq := syndrome.NewLazy(F, syndrome.Mimic{})
+		fSeq, stSeq, err := DiagnoseOpts(nw, sSeq, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sPar := syndrome.NewLazy(F, syndrome.Mimic{})
+		fPar, stPar, err := DiagnoseOpts(nw, sPar, Options{FinalWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fSeq.Equal(fPar) {
+			t.Fatalf("trial %d: fault sets differ under FinalWorkers", trial)
+		}
+		if stSeq.Rounds != stPar.Rounds || stSeq.HealthyCount != stPar.HealthyCount {
+			t.Fatalf("trial %d: final pass shape differs: %+v vs %+v", trial, stSeq, stPar)
+		}
+		if sPar.Lookups() != stPar.TotalLookups {
+			t.Fatalf("trial %d: lookup accounting drifted under FinalWorkers", trial)
+		}
+	}
+}
+
+// topologyPartMask builds a bitset mask for one part.
+func topologyPartMask(n int, p topology.Part) *bitset.Set {
+	m := bitset.New(n)
+	for _, u := range p.Nodes {
+		m.Add(int(u))
+	}
+	return m
+}

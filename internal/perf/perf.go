@@ -113,6 +113,116 @@ func setBuilderCase(nw topology.Network) Result {
 	})
 }
 
+// engineDiagnoseCase measures the engine serving path: warm
+// Engine.Diagnose with a bound scratch — partition prebuilt, zero
+// steady-state allocation, specialised final pass. Lookups/op must
+// equal the free-function diagnose case on the same network: the
+// engine path is defined to be look-up-identical.
+func engineDiagnoseCase(nw topology.Network) Result {
+	g := nw.Graph()
+	eng := core.NewEngine(nw)
+	F := syndrome.RandomFaults(g.N(), nw.Diagnosability(), rand.New(rand.NewSource(1)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	sc := eng.AcquireScratch()
+	defer eng.ReleaseScratch(sc)
+	opt := core.Options{Scratch: sc}
+	op := func() int64 {
+		before := s.Lookups()
+		got, _, err := eng.DiagnoseOpts(s, opt)
+		if err != nil {
+			panic(err)
+		}
+		if !got.Equal(F) {
+			panic("misdiagnosis")
+		}
+		return s.Lookups() - before
+	}
+	return run("enginediagnose/"+nw.Name(), op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
+// batchSyndromes builds k independent δ-fault mimic syndromes.
+func batchSyndromes(nw topology.Network, k int) ([]syndrome.Syndrome, []*bitset.Set) {
+	g := nw.Graph()
+	syns := make([]syndrome.Syndrome, k)
+	faults := make([]*bitset.Set, k)
+	for i := range syns {
+		F := syndrome.RandomFaults(g.N(), nw.Diagnosability(), rand.New(rand.NewSource(int64(i)+100)))
+		faults[i] = F
+		syns[i] = syndrome.NewLazy(F, syndrome.Mimic{})
+	}
+	return syns, faults
+}
+
+// loopDiagnoseCase measures k looped free-function Diagnose calls —
+// the pre-engine serving pattern and the baseline the batch case is
+// compared against.
+func loopDiagnoseCase(nw topology.Network, k int) Result {
+	syns, faults := batchSyndromes(nw, k)
+	op := func() int64 {
+		var total int64
+		for i, s := range syns {
+			before := s.Lookups()
+			got, _, err := core.Diagnose(nw, s)
+			if err != nil {
+				panic(err)
+			}
+			if !got.Equal(faults[i]) {
+				panic("misdiagnosis")
+			}
+			total += s.Lookups() - before
+		}
+		return total
+	}
+	return run(fmt.Sprintf("diagnoseloop%d/%s", k, nw.Name()), op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
+// batchDiagnoseCase measures Engine.DiagnoseBatch over the same k
+// syndromes in its default configuration (worker pool = GOMAXPROCS).
+// Per syndrome it produces identical fault sets and identical look-up
+// counts to the loop case (pinned by the core equivalence tests).
+// ns/op against diagnoseloop is the serving-path headline; on a
+// single-CPU host the gap is pure amortisation + kernel, on multicore
+// it additionally includes worker parallelism.
+func batchDiagnoseCase(nw topology.Network, k int) Result {
+	syns, faults := batchSyndromes(nw, k)
+	eng := core.NewEngine(nw)
+	op := func() int64 {
+		before := int64(0)
+		for _, s := range syns {
+			before += s.Lookups()
+		}
+		for i, r := range eng.DiagnoseBatch(syns, core.BatchOptions{}) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+			if !r.Faults.Equal(faults[i]) {
+				panic("misdiagnosis")
+			}
+		}
+		after := int64(0)
+		for _, s := range syns {
+			after += s.Lookups()
+		}
+		return after - before
+	}
+	return run(fmt.Sprintf("diagnosebatch%d/%s", k, nw.Name()), op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
 // graphBuildCase measures CSR construction of Q_n via the Builder.
 func graphBuildCase(n int) Result {
 	return run(fmt.Sprintf("graphbuild/Q%d", n), nil, func(b *testing.B) {
@@ -161,6 +271,9 @@ func Suite() *Report {
 		diagnoseCase(topology.NewKAryNCube(4, 4)),
 		setBuilderCase(topology.NewHypercube(12)),
 		setBuilderCase(topology.NewHypercube(14)),
+		engineDiagnoseCase(topology.NewHypercube(14)),
+		loopDiagnoseCase(topology.NewHypercube(14), 64),
+		batchDiagnoseCase(topology.NewHypercube(14), 64),
 		graphBuildCase(14),
 		boundaryCase(14),
 	)
