@@ -164,8 +164,8 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(i
 		faults[i] = makeFaults(i)
 		syns[i] = syndrome.NewLazy(faults[i], behavior)
 	}
-	fmt.Printf("batch       %d syndromes, %d faults each (%s testers), %d workers\n",
-		trials, faults[0].Count(), behavior.Name(), workers)
+	fmt.Printf("batch       %d syndromes, %d faults each (%s testers), %d workers, kernel=%s\n",
+		trials, faults[0].Count(), behavior.Name(), workers, eng.KernelName())
 
 	start := time.Now()
 	results := eng.DiagnoseBatch(syns, core.BatchOptions{Workers: workers, Options: opt})

@@ -17,6 +17,8 @@ import (
 	"os"
 
 	"comparisondiag/internal/baseline"
+	"comparisondiag/internal/core"
+	"comparisondiag/internal/graph"
 	"comparisondiag/internal/topology"
 )
 
@@ -47,6 +49,17 @@ func main() {
 	fmt.Printf("degree          min %d, max %d\n", g.MinDegree(), g.MaxDegree())
 	fmt.Printf("connectivity κ  %d (literature)\n", nw.Connectivity())
 	fmt.Printf("diagnosable δ   %d (literature)\n", nw.Diagnosability())
+
+	// Algebraic structure: what the family declares (or a from-scratch
+	// probe finds), and which final-pass kernel an engine binds from it.
+	if cs, ok := nw.(topology.CayleyStructured); ok && cs.CayleyStructure() != nil {
+		fmt.Printf("structure       %s (declared)\n", cs.CayleyStructure())
+	} else if desc, ok := graph.DetectXORCayley(g); ok {
+		fmt.Printf("structure       %s (detected)\n", desc)
+	} else {
+		fmt.Println("structure       none (node-dependent edge rule)")
+	}
+	fmt.Printf("engine kernel   %s\n", core.NewEngine(nw).KernelName())
 
 	d := nw.Diagnosability()
 	parts, err := nw.Parts(d+1, d+1)

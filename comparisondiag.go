@@ -27,9 +27,13 @@
 // When one network is diagnosed again and again — monitoring loops,
 // Monte-Carlo studies, serving traffic — bind an Engine once instead:
 // it precomputes the Theorem 1 partition, pools correctly sized
-// scratches, detects hypercube adjacency for a word-parallel final
-// Set_Builder pass, and exposes a batch API with a worker pool. Results
-// and syndrome look-up counts are bit-identical to the free functions.
+// scratches, binds a word-parallel final-pass kernel from the
+// network's declared (and CSR-verified) Cayley structure — hypercubes
+// and their folded/enhanced/augmented variants, k-ary tori — and
+// exposes a batch API with a worker pool. Results and syndrome look-up
+// counts are bit-identical to the free functions; Engine.KernelName
+// reports the bound kernel, and docs/kernels.md describes the
+// descriptor/registry architecture and how to add a family.
 //
 //	eng := comparisondiag.NewEngine(nw)
 //	found, stats, err := eng.Diagnose(s)           // one syndrome
@@ -89,6 +93,19 @@ type (
 	ExtendedStar = baseline.ExtendedStar
 	// DistStats reports the cost of a distributed protocol run.
 	DistStats = distsim.Stats
+	// CayleyDescriptor declares a network's algebraic adjacency
+	// structure; engines bind specialised final-pass kernels from it
+	// (see docs/kernels.md).
+	CayleyDescriptor = graph.CayleyDescriptor
+	// XORCayley declares N(u) = {u ⊕ m} over a mask set (hypercubes
+	// and their folded/enhanced/augmented variants).
+	XORCayley = graph.XORCayley
+	// AdditiveCayley declares the k-ary n-cube's ±1-per-digit
+	// generators.
+	AdditiveCayley = graph.AdditiveCayley
+	// CayleyStructured is the optional Network extension that declares
+	// a CayleyDescriptor.
+	CayleyStructured = topology.CayleyStructured
 )
 
 // Faulty-tester behaviours (see syndrome.Behavior).
@@ -205,6 +222,12 @@ var (
 	NewScratch = core.NewScratch
 	// CertifyPart is the scan certificate for a partition cell.
 	CertifyPart = core.CertifyPart
+	// VerifyCayley checks a CayleyDescriptor against a graph's CSR
+	// adjacency; engines require this to pass before trusting a
+	// declaration (Engine.BindCayley runs it for you).
+	VerifyCayley = graph.VerifyCayley
+	// DetectXORCayley probes a raw graph for XOR-Cayley structure.
+	DetectXORCayley = graph.DetectXORCayley
 )
 
 // Baselines and references.

@@ -59,6 +59,12 @@ type Config struct {
 	Seed int64
 	// Workers parallelises trials; ≤ 0 means GOMAXPROCS.
 	Workers int
+	// OnEngine, when non-nil, receives the engine Sweep binds, once,
+	// before the first trial — an observability hook so campaign
+	// reports can attribute results to the serving configuration
+	// (e.g. record Engine.KernelName()). The callback must not retain
+	// scratches or mutate the engine.
+	OnEngine func(*core.Engine)
 }
 
 // Sweep runs the campaign against the network through a core.Engine
@@ -75,6 +81,9 @@ func Sweep(nw topology.Network, cfg Config) []Point {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	eng := core.NewEngine(nw)
+	if cfg.OnEngine != nil {
+		cfg.OnEngine(eng)
+	}
 	g := eng.Graph()
 	delta := eng.Diagnosability()
 	perr := eng.PartsErr()

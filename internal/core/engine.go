@@ -43,10 +43,10 @@ type Engine struct {
 	tight    map[int][]topology.Part // FaultBound-tightened partitions
 	tightErr map[int]error
 
-	// xorMasks is the mask set of an XOR-Cayley graph (hypercubes and
-	// relatives), detected once at bind time; nil for other topologies.
-	// It routes the final pass through the word-parallel kernel.
-	xorMasks []int32
+	// kernel is the specialised final-pass kernel bound from the
+	// network's declared Cayley structure (or from-scratch detection);
+	// nil routes the final pass through the generic adaptive kernel.
+	kernel finalKernel
 
 	pool sync.Pool // *Scratch sized for g
 }
@@ -65,16 +65,67 @@ func NewEngine(nw topology.Network) *Engine {
 		delta: nw.Diagnosability(),
 	}
 	e.parts, e.partsErr = nw.Parts(e.delta+1, e.delta+1)
-	e.xorMasks = xorCayleyMasks(e.g)
+	e.kernel = bindStructure(nw, e.g)
 	return e
+}
+
+// bindStructure resolves the engine's final-pass kernel at bind time:
+// a declared descriptor first (validated against the CSR adjacency by
+// graph.VerifyCayley, so a buggy declaration degrades to the generic
+// kernel instead of corrupting results), then the from-scratch XOR
+// probe for networks that declare nothing. Both paths are O(m) and run
+// once per engine.
+func bindStructure(nw topology.Network, g *graph.Graph) finalKernel {
+	if cs, ok := nw.(topology.CayleyStructured); ok {
+		if desc := cs.CayleyStructure(); desc != nil && graph.VerifyCayley(g, desc) == nil {
+			// A verified declaration is the whole truth about the
+			// adjacency; when no kernel covers it (e.g. below the
+			// 64-node floor), re-probing from scratch could only
+			// rediscover the same structure.
+			return bindFinalKernel(desc, g)
+		}
+	}
+	if desc, ok := graph.DetectXORCayley(g); ok {
+		return bindFinalKernel(desc, g)
+	}
+	return nil
+}
+
+// KernelName reports the bound final-pass kernel — "xor-cayley",
+// "xor-cayley[multi-bit]", "additive-rotate", or "generic" when no
+// structure bound. Observability only: all kernels are defined to be
+// result- and look-up-identical.
+func (e *Engine) KernelName() string {
+	if e.kernel == nil {
+		return "generic"
+	}
+	return e.kernel.Name()
+}
+
+// BindCayley routes the final pass of a graph-bound engine through a
+// structure kernel: the descriptor is first verified against the
+// engine's graph (an untrusted or stale descriptor is rejected with an
+// error and changes nothing), then offered to the kernel registry. A
+// nil return with KernelName() still "generic" means the descriptor was
+// genuine but no kernel covers it (e.g. below the 64-node word floor).
+// Call before the engine starts serving; it is not synchronised with
+// concurrent Diagnose calls.
+func (e *Engine) BindCayley(desc graph.CayleyDescriptor) error {
+	if err := graph.VerifyCayley(e.g, desc); err != nil {
+		return err
+	}
+	e.kernel = bindFinalKernel(desc, e.g)
+	return nil
 }
 
 // NewGraphEngine binds an engine to an explicit graph, fault bound and
 // partition — the DiagnoseGraph analogue for callers that construct
 // their own topology. The parts must satisfy the Theorem 1
 // preconditions for delta (see topology.ValidatePartition). Binding is
-// O(1): unlike NewEngine, no adjacency-structure detection runs, so
-// graph-bound engines always use the generic final-pass kernels.
+// O(1): unlike NewEngine, no adjacency-structure detection runs, so a
+// graph-bound engine starts on the generic final-pass kernel; callers
+// that know their graph's algebraic structure can opt in afterwards
+// with BindCayley, which verifies the claim before trusting it.
 func NewGraphEngine(g *graph.Graph, delta int, parts []topology.Part) *Engine {
 	return &Engine{name: "graph", g: g, delta: delta, parts: parts}
 }
@@ -168,7 +219,9 @@ func (e *Engine) DiagnoseOpts(s syndrome.Syndrome, opt Options) (*bitset.Set, *S
 		}
 	}
 	opt.fastFinal = true
-	opt.xorMasks = e.xorMasks
+	if !opt.GenericFinal {
+		opt.kernel = e.kernel
+	}
 	if opt.Scratch != nil {
 		return diagnoseInto(opt.Scratch, e.g, delta, parts, s, opt)
 	}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+)
+
+// finalKernel is a specialised engine for the final (unrestricted)
+// Set_Builder pass, bound once to a graph whose algebraic structure a
+// graph.CayleyDescriptor describes. A kernel must produce output —
+// U, Parent, Contributors, Rounds, AllHealthy AND the syndrome look-up
+// count — bit-identical to the reference SetBuilder: specialisation
+// changes throughput, never answers. The equivalence argument every
+// kernel relies on is the reference pass's per-candidate test
+// discipline: a non-member v is tested by its frontier neighbours in
+// ascending node order until one answers 0, so any kernel that consults
+// exactly that prefix per candidate is indistinguishable (see
+// runWordKernel and the per-kernel order proofs).
+type finalKernel interface {
+	// Name is the observability tag reported by Engine.KernelName and
+	// the CLI tools, e.g. "xor-cayley[multi-bit]".
+	Name() string
+	run(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult
+}
+
+// kernelBinder is one registry entry: bind inspects a descriptor and
+// returns a kernel when it can serve (descriptor family matches, graph
+// meets the kernel's floor), or nil to pass.
+type kernelBinder struct {
+	family string
+	bind   func(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel
+}
+
+// finalKernelRegistry is consulted in priority order at engine bind
+// time: the XOR kernel first (cheapest per-round permutes), then the
+// additive-rotate kernel for tori. Adding a kernel for a new structure
+// family means adding a descriptor type in internal/graph, a binder
+// here, and a declaration in internal/topology — see docs/kernels.md.
+var finalKernelRegistry = []kernelBinder{
+	{"xor-cayley", bindXORKernel},
+	{"additive-rotate", bindAdditiveKernel},
+}
+
+// bindFinalKernel consults the registry in priority order. A nil result
+// means no kernel fits and the engine serves the generic adaptive pass
+// (setBuilderLazyInto). Callers must have validated the descriptor
+// against the graph first (graph.VerifyCayley, or a detection probe):
+// binders trust the descriptor's shape claims beyond cheap sanity
+// checks.
+func bindFinalKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel {
+	if desc == nil {
+		return nil
+	}
+	for _, kb := range finalKernelRegistry {
+		if k := kb.bind(desc, g); k != nil {
+			return k
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/bits"
+	"slices"
+
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+)
+
+// wordRounder is the per-structure half of a word-parallel final-pass
+// kernel: one growth round against the fixed round-start frontier
+// bitset fw, admitting into uw/parent via l and returning the admission
+// count. The driver (runWordKernel) owns everything else — the U_1 pair
+// scan, the sorted-frontier gate, the small-round reference sweep, the
+// round-start snapshot and next-frontier extraction, and the deferred
+// contributor reconstruction — so a new structure family only has to
+// supply its round permutation schedule.
+//
+// round contract: for every candidate v ∉ U with a neighbour in the
+// frontier, test v by its frontier neighbours in ascending node order,
+// stopping at the first 0 answer (admission: set v's bit in uw, record
+// parent[v], count it). Admissions must be visible immediately, so a
+// node admitted by one step is excluded as candidate from every later
+// step of the same round — the reference pass's prefix-until-0
+// suppression.
+type wordRounder interface {
+	Name() string
+	round(fw, uw []uint64, parent []int32, l *syndrome.Lazy) int
+	// sweepThreshold is the frontier size above which the kernel's
+	// word-parallel round beats the reference sweep, fixed at bind time
+	// (see sweepThresholdFor); smaller frontiers take the sweep.
+	sweepThreshold() int
+}
+
+// sweepThresholdFor converts a kernel's fixed round cost (word visits
+// weighted by per-word permute work) into the frontier size above which
+// the word-parallel path wins. The sweep spends ~|frontier|·deg probes
+// per round (CSR read + bitset test each); a word visit costs a couple
+// probes' worth of ALU work, hence the factor. Degree ties the two:
+// dense small graphs (augmented cubes: deg ≈ word count) cross over
+// much later than big sparse ones, which is what the old flat
+// words-count gate got wrong. The word floor stays: below one word per
+// frontier node the permutes cannot pay for themselves.
+func sweepThresholdFor(roundCost int, g *graph.Graph) int {
+	words := (g.N() + 63) / 64
+	deg := g.MaxDegree()
+	if deg == 0 {
+		return words
+	}
+	t := 2 * roundCost / deg
+	if t < words {
+		t = words
+	}
+	return t
+}
+
+// runWordKernel drives a word-parallel kernel to the same output and
+// the same syndrome look-up count as the reference SetBuilder.
+//
+// Why the look-up count is identical: in the reference loop, a
+// non-member v is tested by its frontier neighbours in ascending node
+// order until one answers 0 (the frontier is sorted and each admission
+// is visible immediately), so v's testers form exactly the prefix of
+// its ascending frontier neighbours ending at the first 0 answer. The
+// kernel's round consults literally that prefix for each v; only the
+// interleaving across different v differs, which is unobservable for
+// any deterministic syndrome.
+func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int, k wordRounder) *SetBuilderResult {
+	sc.ensure(g.N())
+	sc.resetTree()
+	res := &sc.res
+	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
+	res.U.Add(int(u0))
+	start := l.Lookups()
+
+	// Build U_1 exactly as the reference loop: u0 tests unordered pairs
+	// of its neighbours; a 0 result certifies both participants at once.
+	adj := g.Neighbors(u0)
+	frontier := sc.frontier[:0]
+	next := sc.next[:0]
+	for i := 0; i < len(adj); i++ {
+		for j := i + 1; j < len(adj); j++ {
+			vi, vj := adj[i], adj[j]
+			if res.U.Contains(int(vi)) && res.U.Contains(int(vj)) {
+				continue
+			}
+			if l.Test(u0, vi, vj) == 0 {
+				for _, v := range [2]int32{vi, vj} {
+					if !res.U.Contains(int(v)) {
+						res.U.Add(int(v))
+						res.Parent[v] = u0
+						frontier = append(frontier, v)
+					}
+				}
+			}
+		}
+	}
+	if len(frontier) > 0 {
+		res.Rounds = 1
+	}
+
+	added := sc.added
+	offs, tgts := g.Adjacency()
+	uw := res.U.Words()
+	parent := res.Parent
+	fw := sc.fsetBuf().Words()
+	pw := sc.prevBuf()
+	// Word-parallel rounds test each candidate's frontier neighbours in
+	// ascending order, which equals the reference's frontier-order sweep
+	// only while the frontier is sorted. Round 2+ frontiers always are;
+	// a faulty seed's arbitrary pair answers can scramble the U_1
+	// frontier, and those rounds must take the order-preserving sweep.
+	sorted := slices.IsSorted(frontier)
+	threshold := k.sweepThreshold()
+	// Contributor bookkeeping is deferred: the contributor set is
+	// exactly the set of parents, reconstructed in one pass at the end,
+	// and the AllHealthy threshold is monotone, so the final count
+	// decides it — this drops a membership test from every admission.
+	for len(frontier) > 0 {
+		admitted := 0
+		if !sorted || len(frontier) <= threshold {
+			// Small round: the devirtualised reference sweep (as in
+			// setBuilderLazyInto) beats whole-bitset permutes.
+			for _, u := range frontier {
+				tu := parent[u]
+				for ai, end := offs[u], offs[u+1]; ai < end; ai++ {
+					v := tgts[ai]
+					if uw[v>>6]&(1<<(uint(v)&63)) != 0 {
+						continue
+					}
+					if l.Test(u, v, tu) == 0 {
+						uw[v>>6] |= 1 << (uint(v) & 63)
+						parent[v] = u
+						added.Add(int(v))
+						admitted++
+					}
+				}
+			}
+			if admitted == 0 {
+				break
+			}
+			next = added.Drain(next[:0])
+			sorted = true
+		} else {
+			copy(pw, uw)
+			// Word-parallel round against the fixed round-start frontier.
+			for _, u := range frontier {
+				fw[u>>6] |= 1 << (uint(u) & 63)
+			}
+			admitted = k.round(fw, uw, parent, l)
+			for _, u := range frontier {
+				fw[u>>6] &^= 1 << (uint(u) & 63)
+			}
+			if admitted == 0 {
+				break
+			}
+			// The new frontier is the U delta against the round-start
+			// snapshot, read out in ascending order — the sorted frontier
+			// the reference Drain produces, without per-admission set
+			// maintenance.
+			next = next[:0]
+			for wi, w := range uw {
+				for d := w &^ pw[wi]; d != 0; d &= d - 1 {
+					next = append(next, int32(wi<<6+bits.TrailingZeros64(d)))
+				}
+			}
+		}
+		frontier, next = next, frontier
+		res.Rounds++
+	}
+	sc.frontier, sc.next = frontier, next
+
+	// Reconstruct the contributor set: exactly the parents of admitted
+	// nodes (a node was marked contributor when it admitted someone, and
+	// every admission records its parent). AllHealthy is monotone in the
+	// contributor count, so the final count decides it — identical to
+	// the per-round checks of the reference pass.
+	for wi, w := range uw {
+		for ; w != 0; w &= w - 1 {
+			if p := parent[wi<<6+bits.TrailingZeros64(w)]; p >= 0 {
+				res.Contributors.Add(int(p))
+			}
+		}
+	}
+	res.AllHealthy = res.Contributors.Count() > delta
+	res.Lookups = l.Lookups() - start
+	return res
+}

@@ -2,64 +2,52 @@ package core
 
 import (
 	"math/bits"
-	"slices"
 
 	"comparisondiag/internal/graph"
 	"comparisondiag/internal/syndrome"
 )
 
-// A hypercube-adjacency graph has N(u) = { u ^ 2^d : d ∈ D } for a set
-// of bit positions D — the paper's flagship Q_n family (Theorem 2).
-// For it the engine's final Set_Builder pass can discover each round's
-// admission candidates word-parallel: the nodes with a frontier
-// neighbour across dimension d are exactly the frontier bitset XOR-
-// permuted by 2^d, and that permutation is a word reindex (d ≥ 6) or a
-// single in-word delta swap (d < 6) — 64 nodes per ALU operation
-// instead of one adjacency visit per edge. On Q14 this removes ~85% of
-// the generic sweep's per-edge work.
+// The XOR-Cayley kernel: word-parallel final-pass rounds for any graph
+// with N(u) = {u ⊕ m : m ∈ masks} — plain hypercubes (single-bit
+// masks, the paper's flagship Q_n family) and the multi-bit variants
+// (folded/enhanced hypercubes' complement mask, augmented cubes' run
+// masks). XOR by a mask permutes the node bitset, and that permutation
+// is a composition of one delta swap per low mask bit (d < 6, in-word
+// butterflies) plus one word-index XOR for the high bits — so each
+// round discovers 64 admission candidates per handful of ALU ops
+// instead of one adjacency visit per edge.
 //
-// Detection runs once at Engine bind time (syndrome-independent, O(m));
-// the kernel preserves the reference pass's exact per-node test order,
-// so results and look-up counts stay bit-identical (see
-// setBuilderXorInto).
-
-// xorCayleyMasks returns the dimension mask set if g has hypercube
-// adjacency usable by the word-parallel kernel (power-of-two order ≥
-// 64, every mask a distinct bit power, degree ≤ 32), or nil. O(m):
-// every edge {u, v} must have u^v in N(0).
-func xorCayleyMasks(g *graph.Graph) []int32 {
-	n := g.N()
-	if n < 64 || n&(n-1) != 0 {
-		return nil
-	}
-	masks := g.Neighbors(0)
-	if len(masks) == 0 || len(masks) > 32 {
-		return nil
-	}
-	var mset int32
-	for _, m := range masks {
-		if m&(m-1) != 0 || mset&m != 0 {
-			return nil // not a bit power, or repeated
-		}
-		mset |= m
-	}
-	deg := len(masks)
-	for u := int32(1); int(u) < n; u++ {
-		adj := g.Neighbors(u)
-		if len(adj) != deg {
-			return nil
-		}
-		for _, v := range adj {
-			x := u ^ v
-			if x&(x-1) != 0 || mset&x == 0 {
-				return nil
-			}
-		}
-	}
-	out := make([]int32, deg)
-	copy(out, masks)
-	return out
-}
+// Exactness. The reference pass tests each candidate v by its frontier
+// neighbours in ascending node order until one answers 0. For XOR
+// generators the tester via mask m is u = v ⊕ m, and for two masks
+// m1, m2 the order of their testers is decided by one bit of v:
+//
+//	v⊕m1 < v⊕m2  ⇔  v_h = (m1)_h,  h = msb(m1 ⊕ m2)
+//
+// (the two testers differ exactly at the bits of m1⊕m2, so the highest
+// such bit decides). compileXORSchedule turns that comparator into a
+// fixed sequence of steps (mask, condition-on-v) whose per-candidate
+// subsequence is sorted for every v: split the mask set at the highest
+// bit h where it disagrees into A (bit set) and B (bit clear); for
+// candidates with v_h = 1 all of A's testers precede all of B's, and
+// vice versa; within each side the order depends only on lower bits.
+// Emitting the smaller side twice under complementary v_h conditions
+// around the other side realises both orders in one linear schedule:
+//
+//	[A | v_h=1]  [B]  [A | v_h=0]
+//
+// For Q_n this compiles to exactly the two-phase dimension sweep of the
+// PR 2 kernel (descending dimensions over v_d=1, ascending over
+// v_d=0); for FQ_n/AQ_n it interleaves the multi-bit masks at their
+// v-dependent rank. Step conditions are conjunctions of single-bit
+// literals, encoded as a word-index filter (bits ≥ 6) plus an in-word
+// pattern (bits < 6), so a step still costs a handful of ALU ops per
+// 64 candidates.
+//
+// Admissions update U immediately, so a node admitted by one step
+// vanishes from every later step's candidate words — exactly the
+// reference's prefix-until-0 suppression (see runWordKernel for the
+// shared round loop and the full equivalence argument).
 
 // deltaSwapMasks[d] selects the lower element of each bit pair at
 // distance 2^d — the classic butterfly masks. Its complement is the
@@ -69,214 +57,222 @@ var deltaSwapMasks = [6]uint64{
 	0x00ff00ff00ff00ff, 0x0000ffff0000ffff, 0x00000000ffffffff,
 }
 
-// setBuilderXorInto is setBuilderLazyInto for hypercube-adjacency
-// graphs: the same output and the same syndrome look-up count as the
-// reference SetBuilder, with each large round's candidate discovery
-// done word-parallel.
-//
-// Per round the reference invariant is: every non-member is tested by
-// its frontier neighbours in ascending node order until one answers 0
-// (see setBuilderLazyInto). The kernel reproduces that order without
-// ever enumerating a node's adjacency, in two phases over the
-// dimensions:
-//
-//   - phase one walks the dimensions descending, restricted to
-//     candidates whose id has that bit set — their testers v^2^d lie
-//     below them, and descending d yields those testers in ascending
-//     order;
-//   - phase two walks the dimensions ascending, restricted to
-//     candidates with the bit clear — testers above them, ascending.
-//
-// Admissions update U immediately, so a node admitted by one dimension
-// vanishes from every later dimension's candidate word — exactly the
-// reference's prefix-until-0 suppression. Each (dimension, word) step
-// costs a handful of ALU operations for 64 candidates.
-func setBuilderXorInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int, masks []int32) *SetBuilderResult {
-	sc.ensure(g.N())
-	sc.resetTree()
-	res := &sc.res
-	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
-	res.U.Add(int(u0))
-	start := l.Lookups()
+// xorStep is one compiled schedule entry: test the candidates selected
+// by the condition (wiMask/wiVal on the word index, pat in-word)
+// against their frontier neighbour across mask.
+type xorStep struct {
+	mask    int32  // generator; the tester of candidate v is v ^ mask
+	wordXor uint32 // mask >> 6: word reindex of the frontier read
+	low     uint32 // mask & 63: in-word delta-swap composition
+	wiMask  uint32 // word-index condition: process wi iff wi&wiMask == wiVal
+	wiVal   uint32
+	pat     uint64 // in-word candidate pattern from bit literals < 6
+}
 
-	// Build U_1 exactly as the reference loop: u0 tests unordered pairs
-	// of its neighbours; a 0 result certifies both participants at once.
-	adj := g.Neighbors(u0)
-	frontier := sc.frontier[:0]
-	next := sc.next[:0]
-	for i := 0; i < len(adj); i++ {
-		for j := i + 1; j < len(adj); j++ {
-			vi, vj := adj[i], adj[j]
-			if res.U.Contains(int(vi)) && res.U.Contains(int(vj)) {
-				continue
-			}
-			if l.Test(u0, vi, vj) == 0 {
-				for _, v := range [2]int32{vi, vj} {
-					if !res.U.Contains(int(v)) {
-						res.U.Add(int(v))
-						res.Parent[v] = u0
-						frontier = append(frontier, v)
-					}
-				}
-			}
+type xorKernel struct {
+	steps     []xorStep
+	multi     bool
+	threshold int // frontier size where word rounds beat the sweep
+}
+
+// bindXORKernel binds the kernel to a graph declared (and verified) to
+// be XOR-Cayley. Floors: ≥ 64 nodes (below that the word logic cannot
+// win) and ≤ 32 generators; the descriptor must match the graph order
+// and carry well-formed masks.
+func bindXORKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel {
+	xc, ok := desc.(graph.XORCayley)
+	if !ok {
+		return nil
+	}
+	n := g.N()
+	if n < 64 || n&(n-1) != 0 || xc.Order() != n {
+		return nil
+	}
+	if len(xc.Masks) == 0 || len(xc.Masks) > 32 {
+		return nil
+	}
+	for _, m := range xc.Masks {
+		if m <= 0 || int(m) >= n {
+			return nil
 		}
 	}
-	if len(frontier) > 0 {
-		res.Rounds = 1
+	sched := compileXORSchedule(xc.Masks)
+	if sched == nil {
+		return nil
 	}
-
-	added := sc.added
-	offs, tgts := g.Adjacency()
-	uw := res.U.Words()
-	parent := res.Parent
-	fw := sc.fsetBuf().Words()
-	pw := sc.prevBuf()
-	// Word-parallel rounds test each candidate's frontier neighbours in
-	// ascending order, which equals the reference's frontier-order sweep
-	// only while the frontier is sorted. Round 2+ frontiers always are;
-	// a faulty seed's arbitrary pair answers can scramble the U_1
-	// frontier, and those rounds must take the order-preserving sweep.
-	sorted := slices.IsSorted(frontier)
-	// Contributor bookkeeping is deferred: the contributor set is
-	// exactly the set of parents, reconstructed in one pass at the end,
-	// and the AllHealthy threshold is monotone, so the final count
-	// decides it — this drops a membership test from every admission.
-	// admitVia tests candidate word w (nodes with a round-start frontier
-	// neighbour across m, not yet in U) and admits the vouched-for.
-	admitVia := func(w uint64, wi int, m int32) int {
-		admitted := 0
-		for w != 0 {
-			v := int32(wi<<6 + bits.TrailingZeros64(w))
-			w &= w - 1
-			u := v ^ m
-			if l.Test(u, v, parent[u]) == 0 {
-				uw[v>>6] |= 1 << (uint(v) & 63)
-				parent[v] = u
-				admitted++
+	steps := make([]xorStep, len(sched))
+	for i, s := range sched {
+		st := xorStep{
+			mask:    s.mask,
+			wordXor: uint32(s.mask >> 6),
+			low:     uint32(s.mask & 63),
+			pat:     ^uint64(0),
+		}
+		for _, lt := range s.lits {
+			if lt.bit >= 6 {
+				st.wiMask |= 1 << uint(lt.bit-6)
+				if lt.val {
+					st.wiVal |= 1 << uint(lt.bit-6)
+				}
+			} else if lt.val {
+				st.pat &= ^deltaSwapMasks[lt.bit]
+			} else {
+				st.pat &= deltaSwapMasks[lt.bit]
 			}
 		}
-		return admitted
+		steps[i] = st
 	}
-	for len(frontier) > 0 {
-		admitted := 0
-		if !sorted || len(frontier) <= len(uw) {
-			// Small round: the devirtualised reference sweep (as in
-			// setBuilderLazyInto) beats whole-bitset permutes.
-			for _, u := range frontier {
-				tu := parent[u]
-				for ai, end := offs[u], offs[u+1]; ai < end; ai++ {
-					v := tgts[ai]
-					if uw[v>>6]&(1<<(uint(v)&63)) != 0 {
-						continue
-					}
-					if l.Test(u, v, tu) == 0 {
-						uw[v>>6] |= 1 << (uint(v) & 63)
-						parent[v] = u
-						added.Add(int(v))
-						admitted++
-					}
-				}
-			}
-			if admitted == 0 {
-				break
-			}
-			next = added.Drain(next[:0])
-			sorted = true
+	// Round cost: word visits per round, each weighted by its
+	// delta-swap chain (a step conditioned on j word-index bits touches
+	// words/2^j words).
+	words := n / 64
+	cost := 0
+	for _, st := range steps {
+		cost += (words >> bits.OnesCount32(st.wiMask)) * (1 + bits.OnesCount32(st.low))
+	}
+	return &xorKernel{steps: steps, multi: xc.MultiBit(), threshold: sweepThresholdFor(cost, g)}
+}
+
+// xorLit is one condition literal: node bit `bit` of the candidate must
+// equal val.
+type xorLit struct {
+	bit int
+	val bool
+}
+
+// xorSched is one schedule entry before encoding: a mask plus the
+// conjunction of literals gating it.
+type xorSched struct {
+	mask int32
+	lits []xorLit
+}
+
+// compileXORSchedule emits the order-exact step sequence for a mask
+// set (see the file comment for the construction). Returns nil on a
+// degenerate mask set (duplicates — no disagreement bit to split on).
+// The duplicate-smaller-side recursion keeps the schedule linear for
+// every deployed family (2n-1 steps for Q_n, 2n+4 for FQ_n, ~6n for
+// AQ_n); a pathological set could still blow up, so the length is
+// capped and oversized schedules refuse to bind.
+func compileXORSchedule(masks []int32) []xorSched {
+	const maxSteps = 4096
+	if len(masks) == 1 {
+		return []xorSched{{mask: masks[0]}}
+	}
+	var or int32
+	and := int32(-1)
+	for _, m := range masks {
+		or |= m
+		and &= m
+	}
+	if or&^and == 0 {
+		return nil // all masks equal: duplicates in the generator set
+	}
+	h := 31 - bits.LeadingZeros32(uint32(or&^and))
+	a := make([]int32, 0, len(masks))
+	b := make([]int32, 0, len(masks))
+	for _, m := range masks {
+		if m&(1<<uint(h)) != 0 {
+			a = append(a, m)
 		} else {
-			copy(pw, uw)
-			// Word-parallel round against the fixed round-start frontier.
-			for _, u := range frontier {
-				fw[u>>6] |= 1 << (uint(u) & 63)
-			}
-			// Phase one: dimensions descending, candidates with bit d set
-			// (testers v-2^d below them, in ascending order).
-			for mi := len(masks) - 1; mi >= 0; mi-- {
-				m := masks[mi]
-				if d := uint(bits.TrailingZeros32(uint32(m))); d < 6 {
-					hi := ^deltaSwapMasks[d]
-					sh := uint(1) << d
-					a := deltaSwapMasks[d]
-					for wi, w := range fw {
-						w = (w&a)<<sh | (w>>sh)&a // permute by 2^d
-						if w = w &^ uw[wi] & hi; w != 0 {
-							admitted += admitVia(w, wi, m)
-						}
-					}
-				} else {
-					// Only words whose index has bit d-6 set hold
-					// candidates with node bit d set; stride over them.
-					wx := int(m) >> 6
-					step := wx // = 1 << (d-6)
-					for base := step; base < len(fw); base += 2 * step {
-						for wi := base; wi < base+step; wi++ {
-							if w := fw[wi^wx] &^ uw[wi]; w != 0 {
-								admitted += admitVia(w, wi, m)
-							}
-						}
-					}
-				}
-			}
-			// Phase two: dimensions ascending, candidates with bit d
-			// clear (testers v+2^d above them, in ascending order; all
-			// phase-one testers were below, so the combined order per
-			// candidate is ascending).
-			for _, m := range masks {
-				if d := uint(bits.TrailingZeros32(uint32(m))); d < 6 {
+			b = append(b, m)
+		}
+	}
+	sa, sb := compileXORSchedule(a), compileXORSchedule(b)
+	if sa == nil || sb == nil {
+		return nil
+	}
+	// For v_h = 1, A's testers (bit h flipped off) all precede B's; for
+	// v_h = 0 the order reverses. Duplicate the smaller compiled side
+	// under complementary v_h literals around the other side.
+	var out []xorSched
+	if len(sa) <= len(sb) {
+		out = make([]xorSched, 0, 2*len(sa)+len(sb))
+		out = append(out, withXORLit(sa, h, true)...)
+		out = append(out, sb...)
+		out = append(out, withXORLit(sa, h, false)...)
+	} else {
+		out = make([]xorSched, 0, len(sa)+2*len(sb))
+		out = append(out, withXORLit(sb, h, false)...)
+		out = append(out, sa...)
+		out = append(out, withXORLit(sb, h, true)...)
+	}
+	if len(out) > maxSteps {
+		return nil
+	}
+	return out
+}
+
+// withXORLit copies the schedule with one literal prepended to every
+// entry's condition.
+func withXORLit(s []xorSched, bit int, val bool) []xorSched {
+	out := make([]xorSched, len(s))
+	for i, e := range s {
+		lits := make([]xorLit, 0, len(e.lits)+1)
+		lits = append(lits, xorLit{bit, val})
+		lits = append(lits, e.lits...)
+		out[i] = xorSched{mask: e.mask, lits: lits}
+	}
+	return out
+}
+
+// Name implements finalKernel.
+func (k *xorKernel) Name() string {
+	if k.multi {
+		return "xor-cayley[multi-bit]"
+	}
+	return "xor-cayley"
+}
+
+func (k *xorKernel) run(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult {
+	return runWordKernel(sc, g, l, u0, delta, k)
+}
+
+func (k *xorKernel) sweepThreshold() int { return k.threshold }
+
+// round implements wordRounder: one sweep of the compiled schedule.
+// Word indices matching a step's condition are enumerated directly
+// (submask iteration over the free bits), so a step conditioned on j
+// word bits touches only a 2^-j fraction of the bitset.
+func (k *xorKernel) round(fw, uw []uint64, parent []int32, l *syndrome.Lazy) int {
+	admitted := 0
+	last := uint32(len(uw) - 1) // len(uw) is a power of two
+	for si := range k.steps {
+		st := &k.steps[si]
+		free := last &^ st.wiMask
+		s := uint32(0)
+		for {
+			wi := st.wiVal | s
+			// The frontier word holding the testers of wi's candidates,
+			// permuted into candidate positions: word-index XOR for the
+			// high mask bits, one delta swap per low mask bit.
+			w := fw[wi^st.wordXor]
+			if w != 0 {
+				for r := st.low; r != 0; r &= r - 1 {
+					d := uint(bits.TrailingZeros32(r))
 					lo := deltaSwapMasks[d]
 					sh := uint(1) << d
-					for wi, w := range fw {
-						w = (w&lo)<<sh | (w>>sh)&lo
-						if w = w &^ uw[wi] & lo; w != 0 {
-							admitted += admitVia(w, wi, m)
-						}
-					}
-				} else {
-					wx := int(m) >> 6
-					step := wx
-					for base := 0; base < len(fw); base += 2 * step {
-						for wi := base; wi < base+step; wi++ {
-							if w := fw[wi^wx] &^ uw[wi]; w != 0 {
-								admitted += admitVia(w, wi, m)
-							}
+					w = (w&lo)<<sh | (w>>sh)&lo
+				}
+				if w &= st.pat &^ uw[wi]; w != 0 {
+					m := st.mask
+					base := int32(wi) << 6
+					for ; w != 0; w &= w - 1 {
+						v := base + int32(bits.TrailingZeros64(w))
+						u := v ^ m
+						if l.Test(u, v, parent[u]) == 0 {
+							uw[v>>6] |= 1 << (uint32(v) & 63)
+							parent[v] = u
+							admitted++
 						}
 					}
 				}
 			}
-			for _, u := range frontier {
-				fw[u>>6] &^= 1 << (uint(u) & 63)
-			}
-			if admitted == 0 {
+			s = (s - free) & free
+			if s == 0 {
 				break
 			}
-			// The new frontier is the U delta against the round-start
-			// snapshot, read out in ascending order — the sorted frontier
-			// the reference Drain produces, without per-admission set
-			// maintenance.
-			next = next[:0]
-			for wi, w := range uw {
-				for d := w &^ pw[wi]; d != 0; d &= d - 1 {
-					next = append(next, int32(wi<<6+bits.TrailingZeros64(d)))
-				}
-			}
-		}
-		frontier, next = next, frontier
-		res.Rounds++
-	}
-	sc.frontier, sc.next = frontier, next
-
-	// Reconstruct the contributor set: exactly the parents of admitted
-	// nodes (a node was marked contributor when it admitted someone, and
-	// every admission records its parent). AllHealthy is monotone in the
-	// contributor count, so the final count decides it — identical to
-	// the per-round checks of the reference pass.
-	for wi, w := range uw {
-		for ; w != 0; w &= w - 1 {
-			if p := parent[wi<<6+bits.TrailingZeros64(w)]; p >= 0 {
-				res.Contributors.Add(int(p))
-			}
 		}
 	}
-	res.AllHealthy = res.Contributors.Count() > delta
-	res.Lookups = l.Lookups() - start
-	return res
+	return admitted
 }

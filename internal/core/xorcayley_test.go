@@ -10,30 +10,124 @@ import (
 	"comparisondiag/internal/topology"
 )
 
-// TestXorCayleyDetection pins which families the word-parallel kernel
-// binds to: hypercubes yes; folded hypercubes no (the complement mask
-// is not a bit power); permutation and k-ary families no.
-func TestXorCayleyDetection(t *testing.T) {
-	if m := xorCayleyMasks(topology.NewHypercube(8).Graph()); len(m) != 8 {
-		t.Fatalf("Q8: expected 8 dimension masks, got %v", m)
+// declaredKernel binds the final-pass kernel a network's declared
+// Cayley structure resolves to, failing the test when nothing binds.
+func declaredKernel(t *testing.T, nw topology.Network) finalKernel {
+	t.Helper()
+	cs, ok := nw.(topology.CayleyStructured)
+	if !ok {
+		t.Fatalf("%s: no Cayley declaration", nw.Name())
 	}
-	for _, m := range xorCayleyMasks(topology.NewHypercube(8).Graph()) {
-		if m&(m-1) != 0 {
-			t.Fatalf("Q8 mask %d not a bit power", m)
+	desc := cs.CayleyStructure()
+	if err := graph.VerifyCayley(nw.Graph(), desc); err != nil {
+		t.Fatalf("%s: declaration rejected: %v", nw.Name(), err)
+	}
+	k := bindFinalKernel(desc, nw.Graph())
+	if k == nil {
+		t.Fatalf("%s: no kernel bound for %v", nw.Name(), desc)
+	}
+	return k
+}
+
+// TestKernelBinding pins which families bind which kernel — the
+// registry's observable contract. Multi-bit XOR families (folded,
+// enhanced, augmented) now get the generalised word-parallel kernel
+// instead of falling back to the generic pass, tori bind the
+// additive-rotate kernel, and node-dependent or undersized families
+// stay generic.
+func TestKernelBinding(t *testing.T) {
+	cases := []struct {
+		nw   topology.Network
+		want string
+	}{
+		{topology.NewHypercube(8), "xor-cayley"},
+		{topology.NewHypercube(14), "xor-cayley"},
+		{topology.NewFoldedHypercube(8), "xor-cayley[multi-bit]"},
+		{topology.NewEnhancedHypercube(8, 3), "xor-cayley[multi-bit]"},
+		{topology.NewAugmentedCube(6), "xor-cayley[multi-bit]"},
+		{topology.NewAugmentedCube(8), "xor-cayley[multi-bit]"},
+		{topology.NewKAryNCube(4, 4), "additive-rotate"},
+		{topology.NewKAryNCube(3, 5), "additive-rotate"},
+		// Negative cases: permutation families have no uniform
+		// generator set and must stay on the generic kernel.
+		{topology.NewStar(5), "generic"},
+		{topology.NewPancake(5), "generic"},
+		// Node-dependent cube variants likewise.
+		{topology.NewCrossedCube(8), "generic"},
+		{topology.NewTwistedNCube(8), "generic"},
+		{topology.NewShuffleCube(6), "generic"},
+		// Q5 has 32 < 64 nodes: genuine structure, below the word floor.
+		{topology.NewHypercube(5), "generic"},
+		{topology.NewKAryNCube(3, 3), "generic"},
+	}
+	for _, c := range cases {
+		if got := NewEngine(c.nw).KernelName(); got != c.want {
+			t.Errorf("%s: kernel %q, want %q", c.nw.Name(), got, c.want)
 		}
 	}
-	if m := xorCayleyMasks(topology.NewFoldedHypercube(8).Graph()); m != nil {
-		t.Fatalf("FQ8 should not bind the hypercube kernel, got %v", m)
+}
+
+// TestGraphEngineBindCayley pins the untrusted-descriptor path: a
+// graph-bound engine starts generic, binds a kernel only after the
+// descriptor survives verification, and rejects descriptors that do
+// not match the graph.
+func TestGraphEngineBindCayley(t *testing.T) {
+	nw := topology.NewFoldedHypercube(8)
+	delta := nw.Diagnosability()
+	parts, err := nw.Parts(delta+1, delta+1)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if m := xorCayleyMasks(topology.NewStar(5).Graph()); m != nil {
-		t.Fatalf("S5 should not bind the hypercube kernel, got %v", m)
+	eng := NewGraphEngine(nw.Graph(), delta, parts)
+	if eng.KernelName() != "generic" {
+		t.Fatalf("graph-bound engine starts with %q, want generic", eng.KernelName())
 	}
-	if m := xorCayleyMasks(topology.NewKAryNCube(4, 3).Graph()); m != nil {
-		t.Fatalf("Q^4_3 should not bind the hypercube kernel, got %v", m)
+	// A wrong claim (plain-hypercube masks on a folded cube) must be
+	// rejected and leave the engine untouched.
+	if err := eng.BindCayley(topology.NewHypercube(8).CayleyStructure()); err == nil {
+		t.Fatal("mismatched descriptor accepted")
 	}
-	// Q5 has 32 < 64 nodes: correct but below the word-logic floor.
-	if m := xorCayleyMasks(topology.NewHypercube(5).Graph()); m != nil {
-		t.Fatalf("Q5 is below the kernel's size floor, got %v", m)
+	if eng.KernelName() != "generic" {
+		t.Fatal("rejected descriptor still bound a kernel")
+	}
+	if err := eng.BindCayley(nw.CayleyStructure()); err != nil {
+		t.Fatal(err)
+	}
+	if eng.KernelName() != "xor-cayley[multi-bit]" {
+		t.Fatalf("kernel %q after BindCayley", eng.KernelName())
+	}
+	// The kernel-bound graph engine must stay result- and
+	// look-up-identical to the free functions.
+	F := syndrome.RandomFaults(nw.Graph().N(), delta, rand.New(rand.NewSource(5)))
+	sEng := syndrome.NewLazy(F, syndrome.Mimic{})
+	sRef := syndrome.NewLazy(F, syndrome.Mimic{})
+	got, gotStats, err := eng.Diagnose(sEng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := DiagnoseGraph(nw.Graph(), delta, parts, sRef, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) || gotStats.TotalLookups != wantStats.TotalLookups {
+		t.Fatalf("graph engine diverged: lookups %d vs %d", gotStats.TotalLookups, wantStats.TotalLookups)
+	}
+}
+
+// structuredNetworks are the kernel-bound instances every equivalence
+// suite below runs over: single-bit and multi-bit XOR families plus
+// even- and odd-arity tori (odd arity exercises the non-word-aligned
+// tail masks).
+func structuredNetworks() []topology.Network {
+	return []topology.Network{
+		topology.NewHypercube(6),
+		topology.NewHypercube(9),
+		topology.NewFoldedHypercube(8),
+		topology.NewEnhancedHypercube(7, 3),
+		topology.NewAugmentedCube(6),
+		topology.NewKAryNCube(4, 3),
+		topology.NewKAryNCube(3, 4),
+		topology.NewKAryNCube(4, 5),
 	}
 }
 
@@ -44,22 +138,22 @@ func TestXorCayleyDetection(t *testing.T) {
 // sweeps in frontier order, not ascending order. Every specialised
 // kernel must reproduce that, not assume sortedness.
 func TestKernelsMatchReferenceWithFaultySeed(t *testing.T) {
-	// Q8 and Q9 matter most: their word counts (4 and 8) are below Δ,
+	// Q8/Q9-sized instances matter most: their word counts are below Δ,
 	// so an out-of-order U_1 frontier can reach the word-parallel
 	// rounds (verified: with the order gate removed, inverted-adversary
-	// trials diverge from the reference on both).
-	for _, dim := range []int{8, 9, 12} {
-		nw := topology.NewHypercube(dim)
+	// trials diverge from the reference).
+	nets := append(structuredNetworks(), topology.NewHypercube(12))
+	for _, nw := range nets {
 		g := nw.Graph()
 		delta := nw.Diagnosability()
-		masks := xorCayleyMasks(g)
+		k := declaredKernel(t, nw)
 		t.Run(nw.Name(), func(t *testing.T) {
-			testKernelsFaultySeed(t, g, delta, masks)
+			testKernelsFaultySeed(t, g, delta, k)
 		})
 	}
 }
 
-func testKernelsFaultySeed(t *testing.T, g *graph.Graph, delta int, masks []int32) {
+func testKernelsFaultySeed(t *testing.T, g *graph.Graph, delta int, k finalKernel) {
 	for _, b := range syndrome.AllBehaviors(3) {
 		for trial := int64(0); trial < 20; trial++ {
 			// Seed 0 is always faulty, plus random companions.
@@ -68,24 +162,24 @@ func testKernelsFaultySeed(t *testing.T, g *graph.Graph, delta int, masks []int3
 			sRef := syndrome.NewLazy(F, b)
 			ref := SetBuilder(g, sRef, 0, delta, nil)
 
-			sXor := syndrome.NewLazy(F, b)
-			xor := setBuilderXorInto(NewScratch(g.N()), g, sXor, 0, delta, masks)
+			sKer := syndrome.NewLazy(F, b)
+			got := k.run(NewScratch(g.N()), g, sKer, 0, delta)
 			sLzy := syndrome.NewLazy(F, b)
 			lzy := setBuilderLazyInto(NewScratch(g.N()), g, sLzy, 0, delta)
 
-			for name, got := range map[string]*SetBuilderResult{"xor": xor, "lazy": lzy} {
-				if !ref.U.Equal(got.U) || !slices.Equal(ref.Parent, got.Parent) {
+			for name, r := range map[string]*SetBuilderResult{k.Name(): got, "lazy": lzy} {
+				if !ref.U.Equal(r.U) || !slices.Equal(ref.Parent, r.Parent) {
 					t.Fatalf("%s trial %d %s: tree differs from reference", b.Name(), trial, name)
 				}
-				if !ref.Contributors.Equal(got.Contributors) ||
-					ref.Rounds != got.Rounds || ref.AllHealthy != got.AllHealthy {
+				if !ref.Contributors.Equal(r.Contributors) ||
+					ref.Rounds != r.Rounds || ref.AllHealthy != r.AllHealthy {
 					t.Fatalf("%s trial %d %s: metadata differs", b.Name(), trial, name)
 				}
-				if ref.Lookups != got.Lookups {
-					t.Fatalf("%s trial %d %s: lookups %d vs reference %d", b.Name(), trial, name, got.Lookups, ref.Lookups)
+				if ref.Lookups != r.Lookups {
+					t.Fatalf("%s trial %d %s: lookups %d vs reference %d", b.Name(), trial, name, r.Lookups, ref.Lookups)
 				}
 			}
-			if sXor.Lookups() != sRef.Lookups() || sLzy.Lookups() != sRef.Lookups() {
+			if sKer.Lookups() != sRef.Lookups() || sLzy.Lookups() != sRef.Lookups() {
 				t.Fatalf("%s trial %d: syndrome counters diverged", b.Name(), trial)
 			}
 
@@ -98,23 +192,19 @@ func testKernelsFaultySeed(t *testing.T, g *graph.Graph, delta int, masks []int3
 	}
 }
 
-// TestXorKernelMatchesReference compares the word-parallel kernel
+// TestStructureKernelsMatchReference compares every registry kernel
 // against the reference SetBuilder field by field — including Parent,
 // Contributors and the exact look-up count — across behaviours, fault
-// loads and seeds, on sizes that exercise both the word-parallel and
-// the small-round sweep paths.
-func TestXorKernelMatchesReference(t *testing.T) {
-	for _, dim := range []int{6, 9, 12} {
-		nw := topology.NewHypercube(dim)
+// loads (healthy-dominant, at δ, beyond δ) and seeds, on sizes that
+// exercise both the word-parallel and the small-round sweep paths.
+func TestStructureKernelsMatchReference(t *testing.T) {
+	for _, nw := range structuredNetworks() {
 		g := nw.Graph()
 		delta := nw.Diagnosability()
-		masks := xorCayleyMasks(g)
-		if masks == nil {
-			t.Fatalf("Q%d not detected", dim)
-		}
+		k := declaredKernel(t, nw)
 		for _, b := range syndrome.AllBehaviors(7) {
 			for _, f := range []int{1, delta, delta + 3} {
-				F := syndrome.RandomFaults(g.N(), f, rand.New(rand.NewSource(int64(dim*100+f))))
+				F := syndrome.RandomFaults(g.N(), f, rand.New(rand.NewSource(int64(g.N()*100+f))))
 				seed := int32(0)
 				for F.Contains(int(seed)) {
 					seed++
@@ -122,25 +212,76 @@ func TestXorKernelMatchesReference(t *testing.T) {
 				sRef := syndrome.NewLazy(F, b)
 				ref := SetBuilder(g, sRef, seed, delta, nil)
 
-				sXor := syndrome.NewLazy(F, b)
-				xor := setBuilderXorInto(NewScratch(g.N()), g, sXor, seed, delta, masks)
+				sKer := syndrome.NewLazy(F, b)
+				got := k.run(NewScratch(g.N()), g, sKer, seed, delta)
 
-				if !ref.U.Equal(xor.U) {
-					t.Fatalf("Q%d %s f=%d: U differs", dim, b.Name(), f)
+				if !ref.U.Equal(got.U) {
+					t.Fatalf("%s %s f=%d: U differs", nw.Name(), b.Name(), f)
 				}
-				if !slices.Equal(ref.Parent, xor.Parent) {
-					t.Fatalf("Q%d %s f=%d: Parent differs", dim, b.Name(), f)
+				if !slices.Equal(ref.Parent, got.Parent) {
+					t.Fatalf("%s %s f=%d: Parent differs", nw.Name(), b.Name(), f)
 				}
-				if !ref.Contributors.Equal(xor.Contributors) {
-					t.Fatalf("Q%d %s f=%d: Contributors differ", dim, b.Name(), f)
+				if !ref.Contributors.Equal(got.Contributors) {
+					t.Fatalf("%s %s f=%d: Contributors differ", nw.Name(), b.Name(), f)
 				}
-				if ref.Rounds != xor.Rounds || ref.AllHealthy != xor.AllHealthy {
-					t.Fatalf("Q%d %s f=%d: rounds/AllHealthy differ", dim, b.Name(), f)
+				if ref.Rounds != got.Rounds || ref.AllHealthy != got.AllHealthy {
+					t.Fatalf("%s %s f=%d: rounds/AllHealthy differ", nw.Name(), b.Name(), f)
 				}
-				if ref.Lookups != xor.Lookups || sRef.Lookups() != sXor.Lookups() {
-					t.Fatalf("Q%d %s f=%d: lookups differ: %d vs %d", dim, b.Name(), f, ref.Lookups, xor.Lookups)
+				if ref.Lookups != got.Lookups || sRef.Lookups() != sKer.Lookups() {
+					t.Fatalf("%s %s f=%d: lookups differ: %d vs %d", nw.Name(), b.Name(), f, got.Lookups, ref.Lookups)
 				}
 			}
 		}
+	}
+}
+
+// TestXORScheduleIsOrderExact checks the compiled schedule directly:
+// for every candidate id, the subsequence of steps whose condition the
+// candidate satisfies must list that candidate's testers in strictly
+// ascending order, and cover every mask exactly once.
+func TestXORScheduleIsOrderExact(t *testing.T) {
+	maskSets := map[string][]int32{
+		"Q6":     {1, 2, 4, 8, 16, 32},
+		"FQ6":    {1, 2, 4, 8, 16, 32, 63},
+		"EQ6_3":  {1, 2, 4, 8, 16, 32, 56},
+		"AQ6":    {1, 2, 4, 8, 16, 32, 3, 7, 15, 31, 63},
+		"dense3": {1, 2, 3, 4, 5, 6, 7},
+	}
+	for name, masks := range maskSets {
+		sched := compileXORSchedule(masks)
+		if sched == nil {
+			t.Fatalf("%s: schedule refused", name)
+		}
+		n := int32(64)
+		for v := int32(0); v < n; v++ {
+			var testers []int32
+			seen := map[int32]bool{}
+			for _, st := range sched {
+				ok := true
+				for _, lt := range st.lits {
+					if (v&(1<<uint(lt.bit)) != 0) != lt.val {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if seen[st.mask] {
+					t.Fatalf("%s v=%d: mask %#x scheduled twice", name, v, st.mask)
+				}
+				seen[st.mask] = true
+				testers = append(testers, v^st.mask)
+			}
+			if len(testers) != len(masks) {
+				t.Fatalf("%s v=%d: %d testers scheduled, want %d", name, v, len(testers), len(masks))
+			}
+			if !slices.IsSorted(testers) {
+				t.Fatalf("%s v=%d: testers out of order: %v", name, v, testers)
+			}
+		}
+	}
+	if compileXORSchedule([]int32{4, 4}) != nil {
+		t.Fatal("duplicate mask set compiled")
 	}
 }

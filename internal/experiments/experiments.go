@@ -67,6 +67,7 @@ type runResult struct {
 	finalLookups int64
 	totalLookups int64
 	healthy      int
+	kernel       string // final-pass kernel the engine bound
 	ok           bool
 	errText      string
 }
@@ -82,6 +83,7 @@ func measureDiagnose(nw topology.Network, behavior syndrome.Behavior, trials int
 	delta := eng.Diagnosability()
 	rng := rand.New(rand.NewSource(seed))
 	var res runResult
+	res.kernel = eng.KernelName()
 	var total time.Duration
 	for i := 0; i < trials; i++ {
 		F := syndrome.RandomFaults(g.N(), delta, rng)
@@ -117,15 +119,15 @@ func scalingRow(nw topology.Network, trials int, seed int64) []string {
 	r := measureDiagnose(nw, syndrome.Mimic{}, trials, seed, core.Options{})
 	if !r.ok {
 		return []string{nw.Name(), itoa(g.N()), itoa(g.MaxDegree()), itoa(nw.Diagnosability()),
-			"-", "-", "-", "ERR: " + r.errText}
+			"-", "-", "-", r.kernel, "ERR: " + r.errText}
 	}
 	return []string{
 		nw.Name(), itoa(g.N()), itoa(g.MaxDegree()), itoa(nw.Diagnosability()),
-		fmtDur(r.avgTime), fmt.Sprintf("%.2f", r.perDeltaN), itoa64(r.totalLookups), "ok",
+		fmtDur(r.avgTime), fmt.Sprintf("%.2f", r.perDeltaN), itoa64(r.totalLookups), r.kernel, "ok",
 	}
 }
 
-var scalingColumns = []string{"instance", "N", "Δ", "δ", "time/diag", "ns/(Δ·N)", "lookups", "status"}
+var scalingColumns = []string{"instance", "N", "Δ", "δ", "time/diag", "ns/(Δ·N)", "lookups", "kernel", "status"}
 
 func itoa(v int) string     { return fmt.Sprintf("%d", v) }
 func itoa64(v int64) string { return fmt.Sprintf("%d", v) }

@@ -73,12 +73,15 @@ func BeyondGuarantee(full bool) *Table {
 	}
 	for _, nw := range []topology.Network{topology.NewHypercube(8), topology.NewStar(6)} {
 		delta := nw.Diagnosability()
+		kernel := "generic"
 		points := campaign.Sweep(nw, campaign.Config{
 			MinFaults: delta - 1,
 			MaxFaults: delta + 6,
 			Trials:    trials,
 			Seed:      11,
+			OnEngine:  func(e *core.Engine) { kernel = e.KernelName() },
 		})
+		t.Notes = append(t.Notes, fmt.Sprintf("%s served through engine kernel=%s", nw.Name(), kernel))
 		for _, p := range points {
 			marker := ""
 			if p.Faults <= delta && p.Exact != p.Trials {

@@ -153,7 +153,7 @@ func Theorem7Arrangements(full bool) *Table {
 			status = "no partition (G3)"
 		}
 		t.Rows = append(t.Rows, []string{nw.Name(), itoa(nw.Graph().N()), itoa(nw.Graph().MaxDegree()),
-			itoa(d), "-", "-", "-", status})
+			itoa(d), "-", "-", "-", "-", status})
 	}
 	t.Notes = append(t.Notes,
 		"the paper's §5.2 arrangement 'proof' is a copy of the pancake paragraph (gap G2); the real partition fixes a position suffix",

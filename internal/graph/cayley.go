@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// Algebraic adjacency descriptors. A regular interconnection network is
+// usually a Cayley graph: the neighbourhood of every node is one fixed
+// generator set acting on the node's id. When that structure is known,
+// diagnosis engines can replace per-edge adjacency walks with whole-
+// bitset permutations (see internal/core's final-pass kernels), so the
+// topology layer *declares* the structure it was built from and this
+// package *verifies* a declaration against the CSR adjacency before
+// anything trusts it — a descriptor is data, not proof.
+//
+// Two families of descriptors cover the paper's regular networks:
+//
+//   - XORCayley: node ids are bit strings and N(u) = {u ⊕ m} over a set
+//     of masks. Hypercubes (single-bit masks), folded and enhanced
+//     hypercubes (one multi-bit complement mask) and augmented cubes
+//     (multi-bit run masks) are all of this shape.
+//   - AdditiveCayley: node ids are n-digit base-k strings and
+//     N(u) = u ± 1 (mod k) in each digit — the k-ary n-cube (torus).
+//
+// Crossed, twisted and shuffle cubes are intentionally *not* describable
+// here: their edge rules read other bits of the endpoint (pair-relations,
+// a rewired face, suffix-selected tables), so no single generator set
+// reproduces their adjacency and VerifyCayley would reject any claim.
+type CayleyDescriptor interface {
+	// Order returns the number of nodes the descriptor describes; a
+	// descriptor only applies to graphs of exactly this order.
+	Order() int
+	// Degree returns the generator count — the degree of every node.
+	Degree() int
+	// String renders the structure for logs and CLI output.
+	String() string
+}
+
+// XORCayley declares N(u) = {u ⊕ m : m ∈ Masks} over node ids in
+// [0, 2^Bits). Masks must be distinct, non-zero and below 2^Bits; they
+// may have several bits set (folded/enhanced/augmented cubes).
+type XORCayley struct {
+	Bits  int
+	Masks []int32
+}
+
+// Order implements CayleyDescriptor.
+func (x XORCayley) Order() int { return 1 << uint(x.Bits) }
+
+// Degree implements CayleyDescriptor.
+func (x XORCayley) Degree() int { return len(x.Masks) }
+
+// MultiBit reports whether any generator flips more than one bit —
+// the case the plain hypercube kernel cannot serve.
+func (x XORCayley) MultiBit() bool {
+	for _, m := range x.Masks {
+		if m&(m-1) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements CayleyDescriptor.
+func (x XORCayley) String() string {
+	kind := "single-bit"
+	if x.MultiBit() {
+		kind = "multi-bit"
+	}
+	return fmt.Sprintf("xor-cayley over GF(2)^%d, %d generators (%s)", x.Bits, len(x.Masks), kind)
+}
+
+// AdditiveCayley declares the k-ary n-cube: node ids are Dims-digit
+// base-K strings and every node is adjacent to u ± 1 (mod K) in each
+// digit. K ≥ 3 keeps the two directions distinct.
+type AdditiveCayley struct {
+	K, Dims int
+}
+
+// Order implements CayleyDescriptor.
+func (a AdditiveCayley) Order() int {
+	n := 1
+	for i := 0; i < a.Dims; i++ {
+		n *= a.K
+	}
+	return n
+}
+
+// Degree implements CayleyDescriptor.
+func (a AdditiveCayley) Degree() int { return 2 * a.Dims }
+
+// String implements CayleyDescriptor.
+func (a AdditiveCayley) String() string {
+	return fmt.Sprintf("additive cayley over Z_%d^%d (±1 per digit)", a.K, a.Dims)
+}
+
+// VerifyCayley checks a descriptor against the graph's CSR adjacency:
+// nil means every node's neighbourhood is exactly the generator set
+// applied to its id. The check is O(m) and runs once at engine bind
+// time, so declared structure — even from an untrusted or buggy
+// source — can never route a graph through the wrong kernel: a single
+// deviating edge fails the pass.
+func VerifyCayley(g *Graph, d CayleyDescriptor) error {
+	switch d := d.(type) {
+	case XORCayley:
+		return verifyXORCayley(g, d)
+	case AdditiveCayley:
+		return verifyAdditiveCayley(g, d)
+	case nil:
+		return fmt.Errorf("graph: nil Cayley descriptor")
+	default:
+		return fmt.Errorf("graph: unknown Cayley descriptor %T", d)
+	}
+}
+
+func verifyXORCayley(g *Graph, d XORCayley) error {
+	n := g.N()
+	if d.Bits <= 0 || d.Bits >= 31 || n != 1<<uint(d.Bits) {
+		return fmt.Errorf("graph: xor-cayley order 2^%d does not match %d nodes", d.Bits, n)
+	}
+	if len(d.Masks) == 0 {
+		return fmt.Errorf("graph: xor-cayley descriptor has no generators")
+	}
+	masks := slices.Clone(d.Masks)
+	slices.Sort(masks)
+	for i, m := range masks {
+		if m <= 0 || int(m) >= n {
+			return fmt.Errorf("graph: xor-cayley mask %#x out of range (0, %d)", m, n)
+		}
+		if i > 0 && masks[i-1] == m {
+			return fmt.Errorf("graph: xor-cayley mask %#x repeated", m)
+		}
+	}
+	// Distinct masks produce distinct u^m, so per node it suffices that
+	// the degree matches and every edge difference is a generator.
+	deg := len(masks)
+	for u := int32(0); int(u) < n; u++ {
+		adj := g.Neighbors(u)
+		if len(adj) != deg {
+			return fmt.Errorf("graph: node %d has degree %d, descriptor says %d", u, len(adj), deg)
+		}
+		for _, v := range adj {
+			if _, ok := slices.BinarySearch(masks, u^v); !ok {
+				return fmt.Errorf("graph: edge %d-%d (difference %#x) not generated by the mask set", u, v, u^v)
+			}
+		}
+	}
+	return nil
+}
+
+func verifyAdditiveCayley(g *Graph, d AdditiveCayley) error {
+	if d.K < 3 || d.Dims < 1 {
+		return fmt.Errorf("graph: additive descriptor needs k ≥ 3, dims ≥ 1 (got k=%d, dims=%d)", d.K, d.Dims)
+	}
+	n := g.N()
+	order := 1
+	for i := 0; i < d.Dims; i++ {
+		if order > n {
+			break
+		}
+		order *= d.K
+	}
+	if order != n {
+		return fmt.Errorf("graph: additive order %d^%d does not match %d nodes", d.K, d.Dims, n)
+	}
+	k := int32(d.K)
+	want := make([]int32, 0, 2*d.Dims)
+	for u := int32(0); int(u) < n; u++ {
+		want = want[:0]
+		stride := int32(1)
+		x := u
+		for dim := 0; dim < d.Dims; dim++ {
+			digit := x % k
+			up, down := u+stride, u-stride
+			if digit == k-1 {
+				up = u - (k-1)*stride
+			}
+			if digit == 0 {
+				down = u + (k-1)*stride
+			}
+			want = append(want, up, down)
+			x /= k
+			stride *= k
+		}
+		slices.Sort(want)
+		if !slices.Equal(want, g.Neighbors(u)) {
+			return fmt.Errorf("graph: node %d adjacency %v does not match the ±1-per-digit generators %v", u, g.Neighbors(u), want)
+		}
+	}
+	return nil
+}
+
+// DetectXORCayley probes the graph for XOR-Cayley structure with no
+// declaration to go on: it reads the candidate generator set off node
+// 0's neighbourhood and verifies it against every edge, O(m). This is
+// the fallback for raw graphs whose topology layer declares nothing;
+// it recognises multi-bit generator sets (folded/enhanced/augmented
+// cubes), not just plain hypercubes. Additive structure is not
+// detectable this way (the generator deltas wrap per digit), so tori
+// must be declared.
+func DetectXORCayley(g *Graph) (XORCayley, bool) {
+	n := g.N()
+	if n < 4 || n&(n-1) != 0 {
+		return XORCayley{}, false
+	}
+	masks := g.Neighbors(0) // = {0 ^ m}: the mask set, sorted, distinct
+	if len(masks) == 0 || len(masks) > 64 {
+		return XORCayley{}, false
+	}
+	deg := len(masks)
+	for u := int32(1); int(u) < n; u++ {
+		adj := g.Neighbors(u)
+		if len(adj) != deg {
+			return XORCayley{}, false
+		}
+		for _, v := range adj {
+			if _, ok := slices.BinarySearch(masks, u^v); !ok {
+				return XORCayley{}, false
+			}
+		}
+	}
+	return XORCayley{Bits: bits.TrailingZeros(uint(n)), Masks: slices.Clone(masks)}, true
+}

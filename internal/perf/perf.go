@@ -223,6 +223,42 @@ func batchDiagnoseCase(nw topology.Network, k int) Result {
 	})
 }
 
+// batchGenericCase is batchDiagnoseCase with the structure kernel
+// suppressed (Options.GenericFinal): the ablation baseline the
+// specialised kernels are judged against. Lookups/op must equal the
+// kernel-bound batch case on the same network — kernels change
+// throughput, never answers.
+func batchGenericCase(nw topology.Network, k int) Result {
+	syns, faults := batchSyndromes(nw, k)
+	eng := core.NewEngine(nw)
+	opt := core.BatchOptions{Options: core.Options{GenericFinal: true}}
+	op := func() int64 {
+		before := int64(0)
+		for _, s := range syns {
+			before += s.Lookups()
+		}
+		for i, r := range eng.DiagnoseBatch(syns, opt) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+			if !r.Faults.Equal(faults[i]) {
+				panic("misdiagnosis")
+			}
+		}
+		after := int64(0)
+		for _, s := range syns {
+			after += s.Lookups()
+		}
+		return after - before
+	}
+	return run(fmt.Sprintf("diagnosebatch%dgeneric/%s", k, nw.Name()), op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
 // graphBuildCase measures CSR construction of Q_n via the Builder.
 func graphBuildCase(n int) Result {
 	return run(fmt.Sprintf("graphbuild/Q%d", n), nil, func(b *testing.B) {
@@ -277,7 +313,31 @@ func Suite() *Report {
 		graphBuildCase(14),
 		boundaryCase(14),
 	)
+	// Structured families served by the PR 3 kernels: engine single-shot
+	// plus kernel-vs-generic batch pairs (identical lookups/op within a
+	// pair; the ns/op gap is the kernel's win).
+	rep.Results = append(rep.Results,
+		engineDiagnoseCase(topology.NewFoldedHypercube(12)),
+		engineDiagnoseCase(topology.NewAugmentedCube(10)),
+		engineDiagnoseCase(topology.NewKAryNCube(4, 7)),
+		batchDiagnoseCase(topology.NewFoldedHypercube(12), 64),
+		batchGenericCase(topology.NewFoldedHypercube(12), 64),
+		batchDiagnoseCase(topology.NewAugmentedCube(10), 64),
+		batchGenericCase(topology.NewAugmentedCube(10), 64),
+		batchDiagnoseCase(topology.NewKAryNCube(4, 7), 64),
+		batchGenericCase(topology.NewKAryNCube(4, 7), 64),
+	)
 	return rep
+}
+
+// Read parses a report previously serialised by Write — the other half
+// of the perf-trajectory workflow (cmd/benchtab -compare).
+func Read(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("perf: parsing report: %w", err)
+	}
+	return &rep, nil
 }
 
 // Write serialises the report as indented JSON.

@@ -65,6 +65,16 @@ func (a *AugmentedCube) Diagnosability() int {
 	return 2*a.n - 1
 }
 
+// CayleyStructure implements CayleyStructured: the single-bit basis
+// plus the low-run complement masks 2^(i+1)-1 — all multi-bit.
+func (a *AugmentedCube) CayleyStructure() graph.CayleyDescriptor {
+	masks := xorBasis(a.n)
+	for i := 1; i < a.n; i++ {
+		masks = append(masks, 1<<uint(i+1)-1)
+	}
+	return graph.XORCayley{Bits: a.n, Masks: masks}
+}
+
 // Parts implements Network. Suffix-complement edges with i+1 ≤ m stay
 // inside a high-bits-fixed part, so every part induces AQ_m — connected
 // with minimum degree 2m-1 ≥ 3 for m ≥ 2.

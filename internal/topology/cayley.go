@@ -1,0 +1,35 @@
+package topology
+
+import "comparisondiag/internal/graph"
+
+// CayleyStructured is the optional Network extension through which a
+// family declares the algebraic structure it was constructed from:
+// XOR generator sets for the binary-cube variants, additive ±1-per-digit
+// generators for k-ary tori (see graph.CayleyDescriptor). Engines use
+// the declaration to bind a word-parallel final-pass kernel — but only
+// after graph.VerifyCayley confirms it against the CSR adjacency, so a
+// buggy declaration degrades to the generic kernel instead of
+// corrupting results.
+//
+// Families whose edge rules are node-dependent — crossed cubes
+// (pair-relations), twisted cubes and twisted N-cubes (a rewired face),
+// shuffle cubes (suffix-selected tables), the permutation families —
+// have no uniform generator set and correctly do not implement this
+// interface; augmented k-ary n-cubes don't either, because their run
+// edges wrap each digit independently and are not a fixed id delta.
+type CayleyStructured interface {
+	Network
+	// CayleyStructure returns the instance's descriptor, or nil when
+	// this particular instance declares none.
+	CayleyStructure() graph.CayleyDescriptor
+}
+
+// xorBasis returns the single-bit masks {2^0 … 2^(n-1)} that every
+// binary-cube variant's declaration starts from.
+func xorBasis(n int) []int32 {
+	masks := make([]int32, n)
+	for b := range masks {
+		masks[b] = 1 << uint(b)
+	}
+	return masks
+}

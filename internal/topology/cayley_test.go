@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"testing"
+
+	"comparisondiag/internal/graph"
+)
+
+// TestDeclaredCayleyStructuresVerify pins the contract of every
+// CayleyStructure declaration: it must survive graph.VerifyCayley
+// against the instance's own CSR adjacency. A family that drifts from
+// its declaration (or vice versa) fails here rather than silently
+// degrading engines to the generic kernel.
+func TestDeclaredCayleyStructuresVerify(t *testing.T) {
+	declaring := []Network{
+		NewHypercube(4), NewHypercube(8),
+		NewFoldedHypercube(3), NewFoldedHypercube(8),
+		NewEnhancedHypercube(6, 2), NewEnhancedHypercube(6, 6), NewEnhancedHypercube(8, 4),
+		NewAugmentedCube(3), NewAugmentedCube(6),
+		NewKAryNCube(3, 3), NewKAryNCube(4, 3), NewKAryNCube(5, 2),
+	}
+	for _, nw := range declaring {
+		cs, ok := nw.(CayleyStructured)
+		if !ok {
+			t.Errorf("%s: expected a CayleyStructure declaration", nw.Name())
+			continue
+		}
+		desc := cs.CayleyStructure()
+		if desc == nil {
+			t.Errorf("%s: nil descriptor", nw.Name())
+			continue
+		}
+		if desc.Order() != nw.Graph().N() {
+			t.Errorf("%s: descriptor order %d, graph has %d nodes", nw.Name(), desc.Order(), nw.Graph().N())
+		}
+		if desc.Degree() != nw.Graph().MaxDegree() {
+			t.Errorf("%s: descriptor degree %d, graph degree %d", nw.Name(), desc.Degree(), nw.Graph().MaxDegree())
+		}
+		if err := graph.VerifyCayley(nw.Graph(), desc); err != nil {
+			t.Errorf("%s: declaration rejected: %v", nw.Name(), err)
+		}
+	}
+}
+
+// TestNonCayleyFamiliesDeclareNothing pins the negative side: families
+// with node-dependent edge rules must not implement CayleyStructured —
+// any declaration they could make would be rejected by VerifyCayley.
+func TestNonCayleyFamiliesDeclareNothing(t *testing.T) {
+	for _, nw := range []Network{
+		NewCrossedCube(5),
+		NewTwistedCube(5),
+		NewTwistedNCube(5),
+		NewShuffleCube(6),
+		NewAugmentedKAryNCube(3, 2),
+		NewStar(4),
+		NewPancake(4),
+		NewNKStar(4, 2),
+		NewArrangement(4, 2),
+	} {
+		if _, ok := nw.(CayleyStructured); ok {
+			t.Errorf("%s: declares Cayley structure but its edge rule is node-dependent", nw.Name())
+		}
+	}
+}

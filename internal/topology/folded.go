@@ -47,6 +47,12 @@ func (f *FoldedHypercube) Connectivity() int { return f.n + 1 }
 // Diagnosability implements Network: δ(FQ_n) = n+1 for n ≥ 4 [6].
 func (f *FoldedHypercube) Diagnosability() int { return f.n + 1 }
 
+// CayleyStructure implements CayleyStructured: the single-bit basis
+// plus the all-ones complement mask — a multi-bit XOR generator set.
+func (f *FoldedHypercube) CayleyStructure() graph.CayleyDescriptor {
+	return graph.XORCayley{Bits: f.n, Masks: append(xorBasis(f.n), 1<<uint(f.n)-1)}
+}
+
 // Parts implements Network. Complement edges always change the high
 // bits, so fixing the high n-m bits induces a plain Q_m — connected with
 // minimum degree m ≥ 2.
@@ -96,6 +102,13 @@ func (e *EnhancedHypercube) Connectivity() int { return e.n + 1 }
 
 // Diagnosability implements Network: δ(Q_{n,f}) = n+1 for n ≥ 4 [6].
 func (e *EnhancedHypercube) Diagnosability() int { return e.n + 1 }
+
+// CayleyStructure implements CayleyStructured: the single-bit basis
+// plus the f-high-bits complement mask.
+func (e *EnhancedHypercube) CayleyStructure() graph.CayleyDescriptor {
+	mask := int32((1<<uint(e.f) - 1) << uint(e.n-e.f))
+	return graph.XORCayley{Bits: e.n, Masks: append(xorBasis(e.n), mask)}
+}
 
 // Parts implements Network. The complement edge flips at least one of
 // the high n-m bits whenever m ≤ n-1 and f ≥ 2... more precisely it

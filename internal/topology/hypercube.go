@@ -45,6 +45,12 @@ func (h *Hypercube) Connectivity() int { return h.n }
 // Diagnosability implements Network: δ(Q_n) = n for n ≥ 5 [23].
 func (h *Hypercube) Diagnosability() int { return h.n }
 
+// CayleyStructure implements CayleyStructured: Q_n is the Cayley graph
+// of GF(2)^n with the single-bit generators.
+func (h *Hypercube) CayleyStructure() graph.CayleyDescriptor {
+	return graph.XORCayley{Bits: h.n, Masks: xorBasis(h.n)}
+}
+
 // Parts implements Network. A part is a subcube Q_m obtained by fixing
 // the high n-m bits, so parts are contiguous id ranges. The smallest m
 // meeting minSize is used, provided enough parts remain; when powers of

@@ -64,6 +64,14 @@ func (q *KAryNCube) Connectivity() int { return 2 * q.n }
 // exceptions of [6].
 func (q *KAryNCube) Diagnosability() int { return 2 * q.n }
 
+// CayleyStructure implements CayleyStructured: Q^k_n is the Cayley
+// graph of Z_k^n with the ±1-per-digit generators. (The augmented
+// variant declares nothing: its run edges wrap each digit
+// independently, which no fixed id delta expresses.)
+func (q *KAryNCube) CayleyStructure() graph.CayleyDescriptor {
+	return graph.AdditiveCayley{K: q.k, Dims: q.n}
+}
+
 // Parts implements Network: fixing the high n-m digits yields k^{n-m}
 // copies of Q^k_m as contiguous ranges (min induced degree 2m ≥ 2).
 func (q *KAryNCube) Parts(minSize, minCount int) ([]Part, error) {

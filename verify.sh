@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: build, vet, full test suite, and the race
+# Tier-1 verification gate: build, vet, full test suite, the race
 # detector over the packages that exercise concurrency (parallel part
-# certification with sharded look-up counters, campaign sweeps).
+# certification with sharded look-up counters, campaign sweeps), and
+# the perf-trajectory gate: every committed BENCH_<n>.json must not
+# regress lookups/op on any case shared with its predecessor (look-up
+# counts are deterministic; ns/op is reported but not gated).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -9,3 +12,11 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/core/ ./internal/campaign/
+
+prev=""
+for f in $(ls BENCH_*.json 2>/dev/null | sort -V); do
+  if [ -n "$prev" ]; then
+    go run ./cmd/benchtab -compare "$prev" "$f"
+  fi
+  prev="$f"
+done
