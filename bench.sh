@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
 # Regenerate the perf-trajectory baseline (see internal/perf and
 # cmd/benchtab -json). Usage: ./bench.sh [OUTFILE], default BENCH_1.json.
+#
+# ./bench.sh -quick runs the smoke subset instead (small graphs, a few
+# seconds) and writes nothing — the PR CI perf smoke (.github/workflows).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "-quick" ]; then
+  go run ./cmd/benchtab -quick
+  exit 0
+fi
 
 out="${1:-BENCH_1.json}"
 go run ./cmd/benchtab -json "$out"

@@ -9,6 +9,7 @@
 //	benchtab -table t9 -full     # enlarged sweep
 //	benchtab -json BENCH_1.json  # run the perf suite, write JSON baseline
 //	benchtab -compare OLD NEW    # gate: shared cases must not regress lookups/op
+//	benchtab -quick              # smoke subset for PR CI (bench.sh -quick)
 //
 // Table ids: t2..t12 (paper claims), a1..a3 (repository ablations).
 //
@@ -39,7 +40,17 @@ func main() {
 	full := flag.Bool("full", false, "run the enlarged sweeps (slower)")
 	jsonOut := flag.String("json", "", "run the perf regression suite and write JSON to this file ('-' for stdout)")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json files (args: OLD NEW); exit 1 if a shared case regressed lookups/op")
+	quick := flag.Bool("quick", false, "run the smoke perf subset (small graphs, seconds not minutes) and print a table")
 	flag.Parse()
+
+	if *quick {
+		rep := perf.QuickSuite()
+		fmt.Printf("%-28s %14s %14s %10s\n", "case", "ns/op", "lookups/op", "allocs/op")
+		for _, r := range rep.Results {
+			fmt.Printf("%-28s %14.0f %14.0f %10d\n", r.Name, r.NsPerOp, r.LookupsPerOp, r.AllocsPerOp)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

@@ -7,15 +7,19 @@
 //	diagnose -net q:10 -faults 10 -behavior mimic -seed 42
 //	diagnose -net star:7 -faults 6 -pattern cluster
 //	diagnose -net nkstar:6,2 -faults 3          # verification fallback
-//	diagnose -net q:14 -trials 64 -workers 4    # batch via the Engine
+//	diagnose -net q:14 -trials 64 -workers 4    # batch via the runtime
+//	diagnose -net q:14 -trials 64 -cache 256    # + result cache stats
 //
 // Patterns: random (default), cluster (BFS ball around node 0),
 // neighborhood (the extremal N(center) configuration).
 //
-// With -trials > 1 the command binds a core.Engine to the network once,
-// generates that many independent syndromes, runs Engine.DiagnoseBatch
-// across -workers workers and reports aggregate throughput
-// (diagnoses/sec) beside the per-syndrome verdicts.
+// With -trials > 1 the command binds a core.Engine and a persistent
+// campaign.Runtime to the network once, generates that many independent
+// syndromes, diagnoses them on the runtime's worker pool and reports
+// aggregate throughput (diagnoses/sec), result-cache hit rates (-cache)
+// and the per-worker trial distribution beside the per-syndrome
+// verdicts. -share-cert additionally groups syndromes by fault
+// hypothesis so each group's part certification runs once.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/campaign"
 	"comparisondiag/internal/core"
 	"comparisondiag/internal/syndrome"
 	"comparisondiag/internal/topology"
@@ -39,10 +44,12 @@ func main() {
 	behaviorName := flag.String("behavior", "mimic", "faulty tester behaviour: allzero|allone|mimic|inverted|random")
 	pattern := flag.String("pattern", "random", "fault placement: random|cluster|neighborhood")
 	seed := flag.Int64("seed", 1, "PRNG seed")
-	workers := flag.Int("workers", 1, "parallel part certification; with -trials > 1, the batch worker-pool size (-1 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "parallel part certification; with -trials > 1, the runtime worker-pool size (-1 = GOMAXPROCS; clamped to it)")
 	bound := flag.Int("bound", 0, "known fault bound t < δ (0 = use δ)")
 	paper := flag.Bool("paper-certificate", false, "use the paper's literal contributor certificate (see gap G1)")
-	trials := flag.Int("trials", 1, "number of syndromes to diagnose; > 1 exercises Engine.DiagnoseBatch")
+	trials := flag.Int("trials", 1, "number of syndromes to diagnose; > 1 serves them through a persistent campaign.Runtime")
+	cacheCap := flag.Int("cache", 0, "with -trials > 1: result-cache capacity (0 = off); repeated syndromes replay without diagnosis")
+	shareCert := flag.Bool("share-cert", false, "with -trials > 1: share part certification across syndromes of one fault hypothesis")
 	flag.Parse()
 
 	nw, err := topology.Parse(*netSpec)
@@ -104,7 +111,10 @@ func main() {
 		if *paper {
 			opt.Strategy = core.StrategyPaper
 		}
-		runBatch(nw, behavior, makeFaults, *trials, *workers, opt)
+		if *cacheCap > 0 {
+			opt.ResultCache = core.NewResultCache(*cacheCap)
+		}
+		runBatch(nw, behavior, makeFaults, *trials, *workers, opt, *shareCert)
 		return
 	}
 
@@ -149,15 +159,18 @@ func main() {
 	}
 }
 
-// runBatch binds an Engine to the network, diagnoses `trials`
-// independent syndromes through Engine.DiagnoseBatch and reports
-// aggregate throughput.
-func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(int) *bitset.Set, trials, workers int, opt core.Options) {
+// runBatch binds an Engine and a persistent campaign.Runtime to the
+// network, diagnoses `trials` independent syndromes through the
+// runtime's worker pool and reports aggregate throughput, cache
+// effectiveness and the worker-pool trial distribution.
+func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(int) *bitset.Set, trials, workers int, opt core.Options, shareCert bool) {
 	eng := core.NewEngine(nw)
 	if err := eng.PartsErr(); err != nil {
 		fmt.Fprintln(os.Stderr, "batch mode needs a Theorem 1 partition:", err)
 		os.Exit(1)
 	}
+	rt := campaign.NewRuntime(eng, workers)
+	defer rt.Close()
 	syns := make([]syndrome.Syndrome, trials)
 	faults := make([]*bitset.Set, trials)
 	for i := range syns {
@@ -165,10 +178,10 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(i
 		syns[i] = syndrome.NewLazy(faults[i], behavior)
 	}
 	fmt.Printf("batch       %d syndromes, %d faults each (%s testers), %d workers, kernel=%s\n",
-		trials, faults[0].Count(), behavior.Name(), workers, eng.KernelName())
+		trials, faults[0].Count(), behavior.Name(), rt.Workers(), eng.KernelName())
 
 	start := time.Now()
-	results := eng.DiagnoseBatch(syns, core.BatchOptions{Workers: workers, Options: opt})
+	results := rt.DiagnoseBatch(syns, core.BatchOptions{ShareCertification: shareCert, Options: opt})
 	elapsed := time.Since(start)
 
 	exact, failed := 0, 0
@@ -192,6 +205,18 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(i
 	if exact > 0 {
 		fmt.Printf("lookups     avg %d per diagnosis\n", lookups/int64(exact))
 	}
+	if opt.ResultCache != nil {
+		cs := opt.ResultCache.Stats()
+		total := cs.Hits + cs.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(cs.Hits) / float64(total)
+		}
+		fmt.Printf("cache       %d/%d hits (%.1f%%), %d entries (cap %d), %d evictions\n",
+			cs.Hits, total, rate, cs.Entries, cs.Capacity, cs.Evictions)
+	}
+	rs := rt.Stats()
+	fmt.Printf("runtime     %d workers, %d jobs, trials/worker %v\n", rs.Workers, rs.Jobs, rs.Trials)
 	fmt.Printf("verdict     %d exact, %d failed\n", exact, failed)
 	if failed > 0 {
 		os.Exit(1)

@@ -85,10 +85,19 @@ type (
 	// scratch pools and kernel selection are precomputed, then many
 	// syndromes are served with Diagnose/DiagnoseBatch.
 	Engine = core.Engine
-	// BatchOptions tunes Engine.DiagnoseBatch.
+	// BatchOptions tunes Engine.DiagnoseBatch (worker pool, persistent
+	// Pool, hypothesis-grouped shared certification).
 	BatchOptions = core.BatchOptions
 	// BatchResult is one syndrome's outcome in a DiagnoseBatch call.
 	BatchResult = core.BatchResult
+	// BatchPool abstracts the worker pool DiagnoseBatch runs on;
+	// CampaignRuntime implements it with persistent workers.
+	BatchPool = core.BatchPool
+	// ResultCache memoises whole diagnosis outcomes per (hypothesis,
+	// behaviour, bound, strategy) — opt in via Options.ResultCache.
+	ResultCache = core.ResultCache
+	// CacheStats is a ResultCache observability snapshot.
+	CacheStats = core.CacheStats
 	// ExtendedStar is the Chiang–Tan Fig. 2 structure.
 	ExtendedStar = baseline.ExtendedStar
 	// DistStats reports the cost of a distributed protocol run.
@@ -103,6 +112,9 @@ type (
 	// AdditiveCayley declares the k-ary n-cube's ±1-per-digit
 	// generators.
 	AdditiveCayley = graph.AdditiveCayley
+	// MixedRadixCayley declares per-dimension arities and arbitrary
+	// digit-vector generators (augmented k-ary n-cubes).
+	MixedRadixCayley = graph.MixedRadixCayley
 	// CayleyStructured is the optional Network extension that declares
 	// a CayleyDescriptor.
 	CayleyStructured = topology.CayleyStructured
@@ -220,6 +232,11 @@ var (
 	SetBuilderParallel = core.SetBuilderParallel
 	// NewScratch allocates hot-path buffers for graphs on n nodes.
 	NewScratch = core.NewScratch
+	// NewResultCache builds a bounded engine result cache (see
+	// docs/runtime.md).
+	NewResultCache = core.NewResultCache
+	// ClampWorkers normalises a worker count against GOMAXPROCS.
+	ClampWorkers = core.ClampWorkers
 	// CertifyPart is the scan certificate for a partition cell.
 	CertifyPart = core.CertifyPart
 	// VerifyCayley checks a CayleyDescriptor against a graph's CSR
@@ -284,10 +301,21 @@ type (
 	CampaignConfig = campaign.Config
 	// CampaignPoint aggregates outcomes at one fault count.
 	CampaignPoint = campaign.Point
+	// CampaignRuntime is the persistent batch-serving worker pool
+	// (pinned scratches and PRNGs, chunked trial queue); it implements
+	// BatchPool and drives SweepRuntime (see docs/runtime.md).
+	CampaignRuntime = campaign.Runtime
 )
 
 // CampaignSweep runs a fault-injection campaign against Diagnose.
 var CampaignSweep = campaign.Sweep
+
+// NewCampaignRuntime starts a persistent worker pool bound to an
+// engine; share it across sweeps and batches, Close when done.
+var NewCampaignRuntime = campaign.NewRuntime
+
+// CampaignSweepRuntime is CampaignSweep on a caller-owned runtime.
+var CampaignSweepRuntime = campaign.SweepRuntime
 
 // Sentinel errors re-exported for errors.Is checks.
 var (

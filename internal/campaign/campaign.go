@@ -9,9 +9,6 @@ package campaign
 
 import (
 	"errors"
-	"math/rand"
-	"runtime"
-	"sync"
 
 	"comparisondiag/internal/core"
 	"comparisondiag/internal/syndrome"
@@ -57,8 +54,17 @@ type Config struct {
 	Behavior syndrome.Behavior
 	// Seed makes the campaign reproducible.
 	Seed int64
-	// Workers parallelises trials; ≤ 0 means GOMAXPROCS.
+	// Workers parallelises trials; ≤ 0 means GOMAXPROCS, and requests
+	// above it are clamped (core.ClampWorkers). Ignored by
+	// SweepRuntime, whose pool fixes the parallelism.
 	Workers int
+	// Cache, when non-nil, short-circuits repeated syndromes through
+	// the engine-level result cache (core.ResultCache): the low-fault
+	// end of a sweep repeats hypotheses constantly (every f = 0 trial
+	// is the same empty hypothesis), and replaying those outcomes
+	// skips their diagnosis entirely. Sweep outcomes are identical
+	// with or without a cache.
+	Cache *core.ResultCache
 	// OnEngine, when non-nil, receives the engine Sweep binds, once,
 	// before the first trial — an observability hook so campaign
 	// reports can attribute results to the serving configuration
@@ -68,66 +74,64 @@ type Config struct {
 }
 
 // Sweep runs the campaign against the network through a core.Engine
-// bound once per sweep: the partition is built a single time, every
-// worker owns a dedicated scratch for its whole lifetime, and each
-// worker reseeds one PRNG per trial instead of constructing one — the
-// steady-state trial loop allocates only the fault set and syndrome of
-// the trial itself.
+// and a persistent Runtime bound once per sweep: the partition is
+// built a single time, the worker pool outlives every sweep point
+// (no per-point goroutine spawning), every worker owns a dedicated
+// scratch and PRNG for its whole lifetime, and each worker reseeds
+// that PRNG per trial instead of constructing one — the steady-state
+// trial loop allocates only the fault set and syndrome of the trial
+// itself.
+//
+// Callers that run several sweeps against one network should bind the
+// runtime themselves (core.NewEngine + NewRuntime) and call
+// SweepRuntime so the pool is shared across campaigns.
 func Sweep(nw topology.Network, cfg Config) []Point {
-	if cfg.Behavior == nil {
-		cfg.Behavior = syndrome.Mimic{}
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
 	eng := core.NewEngine(nw)
 	if cfg.OnEngine != nil {
 		cfg.OnEngine(eng)
 	}
+	rt := NewRuntime(eng, cfg.Workers)
+	defer rt.Close()
+	return SweepRuntime(rt, cfg)
+}
+
+// SweepRuntime is Sweep against a caller-owned Runtime (and its bound
+// engine). Trials are dealt to the pool in chunks by trial index and
+// every trial reseeds its worker's PRNG from (Seed, fault count,
+// index), so the points are bit-identical to a sequential loop —
+// worker count and scheduling cannot change an outcome. Config.Workers
+// and Config.OnEngine are ignored here: the runtime fixes both.
+func SweepRuntime(rt *Runtime, cfg Config) []Point {
+	if cfg.Behavior == nil {
+		cfg.Behavior = syndrome.Mimic{}
+	}
+	eng := rt.Engine()
 	g := eng.Graph()
 	delta := eng.Diagnosability()
 	perr := eng.PartsErr()
 
 	var points []Point
+	results := make([]Outcome, cfg.Trials)
 	for f := cfg.MinFaults; f <= cfg.MaxFaults; f++ {
 		p := Point{Faults: f, Trials: cfg.Trials}
-		results := make([]Outcome, cfg.Trials)
-		var wg sync.WaitGroup
-		chunk := (cfg.Trials + cfg.Workers - 1) / cfg.Workers
-		for w := 0; w < cfg.Workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if lo >= cfg.Trials {
-				break
+		rt.Run(cfg.Trials, func(w *Worker, i int) {
+			// Per-trial deterministic seed: reseeding reproduces exactly
+			// the stream a fresh rand.NewSource would give, without the
+			// per-trial allocation, and independently of which worker
+			// claimed the trial.
+			w.RNG.Seed(cfg.Seed + int64(f)*1_000_003 + int64(i))
+			F := syndrome.RandomFaults(g.N(), f, w.RNG)
+			s := syndrome.NewLazy(F, cfg.Behavior)
+			if perr != nil {
+				// No partition: campaign the verification path.
+				got, err := core.DiagnoseWithVerification(g, delta, s)
+				results[i] = classify(got != nil && got.Equal(F), err)
+				return
 			}
-			if hi > cfg.Trials {
-				hi = cfg.Trials
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				sc := eng.AcquireScratch()
-				defer eng.ReleaseScratch(sc)
-				opt := core.Options{Scratch: sc}
-				rng := rand.New(rand.NewSource(0))
-				for i := lo; i < hi; i++ {
-					// Per-trial deterministic seed: reseeding reproduces
-					// exactly the stream a fresh rand.NewSource would give,
-					// without the per-trial allocation.
-					rng.Seed(cfg.Seed + int64(f)*1_000_003 + int64(i))
-					F := syndrome.RandomFaults(g.N(), f, rng)
-					s := syndrome.NewLazy(F, cfg.Behavior)
-					if perr != nil {
-						// No partition: campaign the verification path.
-						got, err := core.DiagnoseWithVerification(g, delta, s)
-						results[i] = classify(got != nil && got.Equal(F), err)
-						continue
-					}
-					got, _, err := eng.DiagnoseOpts(s, opt)
-					results[i] = classify(got != nil && got.Equal(F), err)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+			opt := core.Options{Scratch: w.Scratch, ResultCache: cfg.Cache}
+			got, _, err := eng.DiagnoseOpts(s, opt)
+			results[i] = classify(got != nil && got.Equal(F), err)
+		})
 		for _, o := range results {
 			switch o {
 			case Exact:

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"comparisondiag/internal/core"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// setGOMAXPROCS raises the scheduler parallelism for one test (worker
+// counts clamp to GOMAXPROCS; the CI container runs with 1).
+func setGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestSweepDeterministicAcrossPools pins the tentpole's bit-identity
+// claim: the same Config produces identical points whether the sweep
+// runs on one worker, on a wide pool, or on a reused caller-owned
+// runtime serving several sweeps back to back — trial outcomes depend
+// only on the trial index.
+func TestSweepDeterministicAcrossPools(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	nw := topology.NewHypercube(7)
+	cfg := Config{MinFaults: 0, MaxFaults: nw.Diagnosability() + 2, Trials: 12, Seed: 7}
+
+	cfg.Workers = 1
+	want := Sweep(nw, cfg)
+	cfg.Workers = 4
+	if got := Sweep(nw, cfg); !pointsEqual(got, want) {
+		t.Fatalf("4-worker sweep diverged from sequential: %+v vs %+v", got, want)
+	}
+
+	rt := NewRuntime(core.NewEngine(nw), 3)
+	defer rt.Close()
+	for round := 0; round < 2; round++ {
+		if got := SweepRuntime(rt, cfg); !pointsEqual(got, want) {
+			t.Fatalf("shared-runtime sweep round %d diverged: %+v vs %+v", round, got, want)
+		}
+	}
+	if s := rt.Stats(); s.TotalTrials() != int64(2*cfg.Trials*(cfg.MaxFaults+1)) {
+		t.Fatalf("runtime served %d trials, want %d", s.TotalTrials(), 2*cfg.Trials*(cfg.MaxFaults+1))
+	}
+}
+
+// TestSweepWithResultCacheMatches pins the cached sweep: outcomes are
+// identical with the cache on, and the low-fault points actually hit it
+// (every f = 0 trial after the first replays the empty hypothesis).
+func TestSweepWithResultCacheMatches(t *testing.T) {
+	nw := topology.NewHypercube(7)
+	cfg := Config{MinFaults: 0, MaxFaults: 3, Trials: 10, Seed: 3, Workers: 1}
+	want := Sweep(nw, cfg)
+
+	cfg.Cache = core.NewResultCache(256)
+	got := Sweep(nw, cfg)
+	if !pointsEqual(got, want) {
+		t.Fatalf("cached sweep diverged: %+v vs %+v", got, want)
+	}
+	if cs := cfg.Cache.Stats(); cs.Hits < int64(cfg.Trials-1) {
+		t.Fatalf("expected at least %d cache hits from the f=0 point, got %+v", cfg.Trials-1, cs)
+	}
+}
+
+// TestRuntimeRunChunking pins the queue mechanics: every trial index
+// runs exactly once, across job sizes that exercise single-chunk,
+// ragged and many-chunk dealing, and the stats ledger adds up.
+func TestRuntimeRunChunking(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	rt := NewRuntime(core.NewEngine(topology.NewHypercube(5)), 4)
+	defer rt.Close()
+	var jobs int64
+	var total int64
+	for _, n := range []int{1, 3, 4, 17, 64} {
+		hits := make([]atomic.Int32, n)
+		rt.Run(n, func(w *Worker, i int) {
+			hits[i].Add(1)
+			if w.Scratch == nil || w.RNG == nil {
+				t.Error("worker state not pinned")
+			}
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("n=%d: trial %d ran %d times", n, i, hits[i].Load())
+			}
+		}
+		jobs++
+		total += int64(n)
+	}
+	s := rt.Stats()
+	if s.Jobs != jobs || s.TotalTrials() != total {
+		t.Fatalf("stats %+v, want %d jobs and %d trials", s, jobs, total)
+	}
+	if s.Workers != 4 || len(s.Trials) != 4 {
+		t.Fatalf("stats report %d workers", s.Workers)
+	}
+}
+
+// TestRuntimeDiagnoseBatchMatchesEngine pins the BatchPool plumbing:
+// a batch served on the persistent pool is result- and
+// lookup-identical to the engine's transient pool.
+func TestRuntimeDiagnoseBatchMatchesEngine(t *testing.T) {
+	nw := topology.NewHypercube(8)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	eng := core.NewEngine(nw)
+	rt := NewRuntime(eng, 2)
+	defer rt.Close()
+
+	const trials = 10
+	syns := make([]syndrome.Syndrome, trials)
+	refs := make([]syndrome.Syndrome, trials)
+	for i := range syns {
+		F := syndrome.RandomFaults(g.N(), 1+i%delta, rand.New(rand.NewSource(int64(i))))
+		syns[i] = syndrome.NewLazy(F, syndrome.Mimic{})
+		refs[i] = syndrome.NewLazy(F, syndrome.Mimic{})
+	}
+	got := rt.DiagnoseBatch(syns, core.BatchOptions{})
+	want := eng.DiagnoseBatch(refs, core.BatchOptions{})
+	for i := range got {
+		if (got[i].Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("syndrome %d: err %v vs %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Err == nil && !got[i].Faults.Equal(want[i].Faults) {
+			t.Fatalf("syndrome %d: fault sets differ", i)
+		}
+		if got[i].Stats != want[i].Stats {
+			t.Fatalf("syndrome %d: stats differ: %+v vs %+v", i, got[i].Stats, want[i].Stats)
+		}
+	}
+}
+
+func pointsEqual(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

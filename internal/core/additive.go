@@ -41,13 +41,36 @@ import (
 // runWordKernel for the shared round loop and equivalence argument).
 
 // addStep is one schedule entry: candidates gated by cond are tested by
-// their frontier neighbour at v - shift.
+// their frontier neighbour at v - shift. words indexes cond's non-zero
+// words, so a round only visits words that can produce candidates —
+// high-dimension wrap conditions (digit = 0 or k-1 at stride ≥ 64) and
+// the mixed-radix compiler's borrow-pattern masks are block-sparse, and
+// scanning their empty words would dominate the round cost.
 type addStep struct {
 	shift int      // tester of candidate v is v - shift
 	cond  []uint64 // digit condition on v, tail-masked to [0, n)
+	words []int32  // indices of non-zero cond words
+}
+
+// stepWords fills each step's non-zero word index list and returns the
+// total word-visit cost of one round.
+func stepWords(steps []addStep) int {
+	cost := 0
+	for si := range steps {
+		st := &steps[si]
+		st.words = st.words[:0]
+		for wi, w := range st.cond {
+			if w != 0 {
+				st.words = append(st.words, int32(wi))
+			}
+		}
+		cost += len(st.words)
+	}
+	return cost
 }
 
 type additiveKernel struct {
+	name      string
 	steps     []addStep
 	threshold int // frontier size where word rounds beat the sweep
 }
@@ -127,13 +150,15 @@ func bindAdditiveKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel
 			addStep{shift: -(k - 1) * stride[d], cond: eq0[d]},
 		)
 	}
-	// Every step funnel-shifts the whole frontier bitset, so a round
-	// costs steps × words visits.
-	return &additiveKernel{steps: steps, threshold: sweepThresholdFor(len(steps)*words, g)}
+	// Every step funnel-shifts the frontier bitset across its live
+	// words, so a round costs the summed non-zero word count.
+	return &additiveKernel{name: "additive-rotate", steps: steps, threshold: sweepThresholdFor(stepWords(steps), g)}
 }
 
-// Name implements finalKernel.
-func (k *additiveKernel) Name() string { return "additive-rotate" }
+// Name implements finalKernel. The funnel-shift round is shared with
+// the mixed-radix binder (see mixedradix.go), which reports its own
+// name.
+func (k *additiveKernel) Name() string { return k.name }
 
 func (k *additiveKernel) run(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult {
 	return runWordKernel(sc, g, l, u0, delta, k)
@@ -153,8 +178,9 @@ func (k *additiveKernel) round(fw, uw []uint64, parent []int32, l *syndrome.Lazy
 		t := st.shift
 		qoff := (-t) >> 6 // floor division: int shifts are arithmetic
 		r := uint((-t) & 63)
-		for wi, cw := range st.cond {
-			cw &^= uw[wi]
+		for _, wi32 := range st.words {
+			wi := int(wi32)
+			cw := st.cond[wi] &^ uw[wi]
 			if cw == 0 {
 				continue
 			}

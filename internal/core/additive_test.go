@@ -14,10 +14,12 @@ import (
 // and the same look-up count as the looped paper-literal free function.
 func TestEngineBatchMatchesFreeLoopOnStructuredFamilies(t *testing.T) {
 	nets := []topology.Network{
-		topology.NewFoldedHypercube(8), // xor-cayley[multi-bit]
-		topology.NewAugmentedCube(8),   // xor-cayley[multi-bit]
-		topology.NewKAryNCube(4, 4),    // additive-rotate, word-aligned
-		topology.NewKAryNCube(3, 5),    // additive-rotate, ragged tail
+		topology.NewFoldedHypercube(8),       // xor-cayley[multi-bit]
+		topology.NewAugmentedCube(8),         // xor-cayley[multi-bit]
+		topology.NewKAryNCube(4, 4),          // additive-rotate, word-aligned
+		topology.NewKAryNCube(3, 5),          // additive-rotate, ragged tail
+		topology.NewAugmentedKAryNCube(5, 3), // additive-rotate[mixed-radix], ragged tail
+		topology.NewAugmentedKAryNCube(4, 4), // additive-rotate[mixed-radix], word-aligned
 	}
 	const trials = 12
 	for _, nw := range nets {
@@ -65,6 +67,7 @@ func TestGenericFinalOptionMatchesKernel(t *testing.T) {
 	for _, nw := range []topology.Network{
 		topology.NewFoldedHypercube(8),
 		topology.NewKAryNCube(4, 4),
+		topology.NewAugmentedKAryNCube(4, 4),
 	} {
 		eng := NewEngine(nw)
 		delta := nw.Diagnosability()
@@ -95,6 +98,7 @@ func TestEngineKernelWarmZeroAllocs(t *testing.T) {
 	for _, nw := range []topology.Network{
 		topology.NewFoldedHypercube(9),
 		topology.NewKAryNCube(4, 4),
+		topology.NewAugmentedKAryNCube(4, 4),
 	} {
 		eng := NewEngine(nw)
 		if eng.KernelName() == "generic" {

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"container/list"
+	"reflect"
+	"sync"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/syndrome"
+)
+
+// ResultCache is an engine-level memo of complete diagnosis outcomes,
+// keyed by the syndrome's identity: the packed fault-hypothesis words
+// of a *syndrome.Lazy plus its faulty-tester behaviour, the effective
+// fault bound and the certification strategy. Two lazy syndromes that
+// agree on all of those serve byte-identical test tables, so the whole
+// diagnosis — fault set, Stats, even the typed error — is a pure
+// function of the key and can be replayed without consulting the
+// syndrome at all.
+//
+// The cache is opt-in (Options.ResultCache) and only consulted on the
+// engine serving path; the free functions stay paper-literal and
+// always recompute. It is bounded (least-recently-used eviction at
+// Capacity entries), safe for concurrent use from many Diagnose and
+// DiagnoseBatch callers at once, and copy-clean: entries own private
+// clones of both the key fault set and the result, and every hit is
+// copied out again, so no cached state is ever aliased by callers or
+// scratches.
+//
+// A hit returns the Stats of the populating run. Results and look-up
+// counts are deterministic for the sequential configuration, so for a
+// fixed engine and Options the replayed Stats are exactly what a fresh
+// call would report; configurations whose counts are scheduling-
+// dependent (Workers or FinalWorkers above 1) replay the first run's
+// counts. The syndrome's own Lookups counter does not advance on a hit
+// — short-circuiting those consultations is the cache's entire point.
+type ResultCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // *cacheEntry values, front = most recent
+	byHash    map[uint64][]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is one memoised diagnosis. All fields are immutable after
+// insertion, so reads may continue after the cache lock is released.
+type cacheEntry struct {
+	hash     uint64
+	faults   *bitset.Set // key: cloned fault hypothesis
+	behavior syndrome.Behavior
+	delta    int
+	strategy Strategy
+
+	resFaults *bitset.Set // nil when the diagnosis errored
+	stats     Stats
+	err       error
+}
+
+// DefaultCacheCapacity bounds a ResultCache constructed with a
+// non-positive capacity.
+const DefaultCacheCapacity = 1024
+
+// NewResultCache returns an empty cache holding at most capacity
+// diagnosis results (≤ 0 means DefaultCacheCapacity).
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &ResultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byHash:   make(map[uint64][]*list.Element),
+	}
+}
+
+// CacheStats is a point-in-time observability snapshot of a
+// ResultCache.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries, Capacity       int
+}
+
+// Stats returns the cache's counters. Safe for concurrent use.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.ll.Len(), Capacity: c.capacity,
+	}
+}
+
+// cacheable reports whether the syndrome can act as a cache key: its
+// behaviour must support Go equality (all of the package's behaviours
+// are comparable structs; a hypothetical closure-backed behaviour is
+// simply never cached rather than panicking on ==).
+func cacheable(lz *syndrome.Lazy) bool {
+	b := lz.Behavior()
+	if b == nil {
+		return false
+	}
+	return reflect.TypeOf(b).Comparable()
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit value into an FNV-1a accumulator bytewise.
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// faultsHash hashes a packed fault hypothesis (FNV-1a over its words) —
+// the grouping key of batch-shared certification and the first half of
+// the result-cache key.
+func faultsHash(faults *bitset.Set) uint64 {
+	h := uint64(fnvOffset64)
+	for _, w := range faults.Words() {
+		h = fnvMix(h, w)
+	}
+	return h
+}
+
+// cacheHash extends faultsHash with the remaining key fields: the
+// scalar key parts and the behaviour's name. Behaviours that differ
+// only in name-invisible state (e.g. two Random seeds) land in one
+// bucket and are separated by the equality walk.
+func cacheHash(faults *bitset.Set, behavior syndrome.Behavior, delta int, strat Strategy) uint64 {
+	h := faultsHash(faults)
+	h = fnvMix(h, uint64(delta))
+	h = fnvMix(h, uint64(strat))
+	for _, ch := range []byte(behavior.Name()) {
+		h ^= uint64(ch)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// lookup returns the memoised entry for the syndrome under the given
+// effective fault bound and strategy, promoting it to most-recently
+// used. The returned entry is immutable; callers copy out of it.
+func (c *ResultCache) lookup(lz *syndrome.Lazy, delta int, strat Strategy) (*cacheEntry, bool) {
+	b := lz.Behavior()
+	h := cacheHash(lz.Faults(), b, delta, strat)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.byHash[h] {
+		e := el.Value.(*cacheEntry)
+		if e.delta == delta && e.strategy == strat && e.behavior == b && e.faults.Equal(lz.Faults()) {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return e, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// insert memoises one diagnosis outcome, cloning the key and result so
+// the entry shares no storage with the caller. A concurrent duplicate
+// (two callers missing on the same key and both diagnosing) keeps the
+// first entry; the outcomes are identical by construction.
+func (c *ResultCache) insert(lz *syndrome.Lazy, delta int, strat Strategy, faults *bitset.Set, stats *Stats, err error) {
+	b := lz.Behavior()
+	h := cacheHash(lz.Faults(), b, delta, strat)
+	e := &cacheEntry{
+		hash:     h,
+		faults:   lz.Faults().Clone(),
+		behavior: b,
+		delta:    delta,
+		strategy: strat,
+		err:      err,
+	}
+	if faults != nil {
+		e.resFaults = faults.Clone()
+	}
+	if stats != nil {
+		e.stats = *stats
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.byHash[h] {
+		old := el.Value.(*cacheEntry)
+		if old.delta == delta && old.strategy == strat && old.behavior == b && old.faults.Equal(e.faults) {
+			return
+		}
+	}
+	c.byHash[h] = append(c.byHash[h], c.ll.PushFront(e))
+	for c.ll.Len() > c.capacity {
+		c.evict(c.ll.Back())
+	}
+}
+
+// evict removes one element (called with the lock held).
+func (c *ResultCache) evict(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	chain := c.byHash[e.hash]
+	for i, cand := range chain {
+		if cand == el {
+			chain[i] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(c.byHash, e.hash)
+	} else {
+		c.byHash[e.hash] = chain
+	}
+	c.evictions++
+}

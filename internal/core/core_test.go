@@ -316,6 +316,7 @@ func TestDiagnoseNoFaults(t *testing.T) {
 }
 
 func TestDiagnoseParallelMatchesSequential(t *testing.T) {
+	setGOMAXPROCS(t, 4)
 	rng := rand.New(rand.NewSource(41))
 	g := q7.Graph()
 	for trial := 0; trial < 10; trial++ {

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -62,6 +61,15 @@ type Options struct {
 	// comparison. Ignored by the free functions (which never bind a
 	// kernel).
 	GenericFinal bool
+	// ResultCache, when non-nil, memoises whole diagnosis outcomes on
+	// the engine serving path: a *syndrome.Lazy whose fault hypothesis
+	// and behaviour were already diagnosed under the same effective
+	// fault bound and strategy is answered from the cache without any
+	// syndrome consultation, and misses populate it. Results are
+	// copied out on every hit (see ResultCache). The free functions
+	// ignore the field — they are the paper-literal reference and
+	// always recompute.
+	ResultCache *ResultCache
 	// fastFinal routes the final pass through the engine's specialised
 	// kernel when the syndrome is a *syndrome.Lazy (set by Engine; the
 	// free functions keep the reference loop). Output and look-up count
@@ -70,6 +78,21 @@ type Options struct {
 	// kernel carries the engine's bound structure kernel into the final
 	// pass (see kernel.go); nil for generic topologies.
 	kernel finalKernel
+	// shared carries a certification verdict computed once per fault
+	// hypothesis by a grouped DiagnoseBatch (see
+	// BatchOptions.ShareCertification): the certified part index and
+	// the group representative's scan footprint. When set, the part
+	// scan is skipped entirely — only the final pass consults the
+	// syndrome — and the Stats record the shared verdict with
+	// CertLookups pinned to 0 (this syndrome spent none).
+	shared *sharedScan
+}
+
+// sharedScan is the immutable part-certification verdict a grouped
+// batch shares across all syndromes of one fault hypothesis.
+type sharedScan struct {
+	certified    int // index of the certified part, -1 for none
+	partsScanned int // the representative's scan length
 }
 
 // Stats reports what a Diagnose call did — the quantities compared in
@@ -167,12 +190,15 @@ func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part,
 		candidates = candidates[:delta+1]
 	}
 
-	workers := opt.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	var certified int
-	if workers > 1 {
+	if opt.shared != nil {
+		// Grouped batch: this hypothesis was already certified by its
+		// group representative; adopt the shared verdict. CertLookups
+		// comes out 0 below because this syndrome was never consulted
+		// during the scan.
+		stats.PartsScanned = opt.shared.partsScanned
+		certified = opt.shared.certified
+	} else if workers := ClampWorkers(opt.Workers); workers > 1 {
 		certified = certifyParallel(g, s, candidates, delta, opt.Strategy, workers)
 		stats.PartsScanned = len(candidates) // parallel scan may touch all
 	} else {
@@ -195,10 +221,7 @@ func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part,
 	stats.Seed = seed
 
 	beforeFinal := s.Lookups()
-	finalWorkers := opt.FinalWorkers
-	if finalWorkers < 0 {
-		finalWorkers = runtime.GOMAXPROCS(0)
-	}
+	finalWorkers := ClampWorkers(opt.FinalWorkers)
 	var final *SetBuilderResult
 	if finalWorkers > 1 && g.N() >= parallelFinalMinNodes {
 		final = setBuilderParallelInto(sc, g, s, seed, delta, nil, finalWorkers)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -92,9 +93,10 @@ func bindStructure(nw topology.Network, g *graph.Graph) finalKernel {
 }
 
 // KernelName reports the bound final-pass kernel — "xor-cayley",
-// "xor-cayley[multi-bit]", "additive-rotate", or "generic" when no
-// structure bound. Observability only: all kernels are defined to be
-// result- and look-up-identical.
+// "xor-cayley[multi-bit]", "additive-rotate",
+// "additive-rotate[mixed-radix]", or "generic" when no structure
+// bound. Observability only: all kernels are defined to be result- and
+// look-up-identical.
 func (e *Engine) KernelName() string {
 	if e.kernel == nil {
 		return "generic"
@@ -205,10 +207,27 @@ func (e *Engine) Diagnose(s syndrome.Syndrome) (*bitset.Set, *Stats, error) {
 // through the engine's specialised kernel when the syndrome is a
 // *syndrome.Lazy. With Options.Scratch set the call is allocation-free
 // in steady state and the results are scratch views (see Scratch).
+//
+// With Options.ResultCache set, a lazy syndrome whose fault hypothesis
+// and behaviour were already diagnosed under the same effective fault
+// bound and strategy is served from the cache — identical results,
+// zero syndrome consultations; misses populate the cache.
 func (e *Engine) DiagnoseOpts(s syndrome.Syndrome, opt Options) (*bitset.Set, *Stats, error) {
 	delta := e.delta
 	if opt.FaultBound > 0 && opt.FaultBound < delta {
 		delta = opt.FaultBound
+	}
+	var lz *syndrome.Lazy
+	if opt.ResultCache != nil && opt.Parts == nil && opt.shared == nil {
+		// Grouped members skip the cache: their Stats deliberately
+		// carry shared-scan accounting (CertLookups 0), which must not
+		// be memoised as the hypothesis's canonical full-run Stats.
+		if l, ok := s.(*syndrome.Lazy); ok && cacheable(l) {
+			lz = l
+			if ent, hit := opt.ResultCache.lookup(l, delta, opt.Strategy); hit {
+				return e.serveCached(ent, opt.Scratch)
+			}
+		}
 	}
 	parts := opt.Parts
 	if parts == nil {
@@ -222,23 +241,137 @@ func (e *Engine) DiagnoseOpts(s syndrome.Syndrome, opt Options) (*bitset.Set, *S
 	if !opt.GenericFinal {
 		opt.kernel = e.kernel
 	}
+	var faults *bitset.Set
+	var stats *Stats
+	var err error
 	if opt.Scratch != nil {
-		return diagnoseInto(opt.Scratch, e.g, delta, parts, s, opt)
+		faults, stats, err = diagnoseInto(opt.Scratch, e.g, delta, parts, s, opt)
+	} else {
+		sc := e.AcquireScratch()
+		faults, stats, err = diagnoseInto(sc, e.g, delta, parts, s, opt)
+		faults, stats = cloneResults(faults, stats)
+		e.ReleaseScratch(sc)
 	}
-	sc := e.AcquireScratch()
-	faults, stats, err := diagnoseInto(sc, e.g, delta, parts, s, opt)
-	faults, stats = cloneResults(faults, stats)
-	e.ReleaseScratch(sc)
+	if lz != nil && stats != nil {
+		opt.ResultCache.insert(lz, delta, opt.Strategy, faults, stats, err)
+	}
 	return faults, stats, err
+}
+
+// serveCached copies a memoised diagnosis out of the cache: into the
+// caller's scratch (preserving the Options.Scratch view contract) when
+// one is supplied, as caller-owned clones otherwise. Cached state is
+// never aliased.
+func (e *Engine) serveCached(ent *cacheEntry, sc *Scratch) (*bitset.Set, *Stats, error) {
+	if sc != nil {
+		sc.ensure(e.g.N())
+		sc.stats = ent.stats
+		if ent.resFaults == nil {
+			return nil, &sc.stats, ent.err
+		}
+		f := sc.faultsBuf()
+		f.CopyFrom(ent.resFaults)
+		return f, &sc.stats, ent.err
+	}
+	st := ent.stats
+	if ent.resFaults == nil {
+		return nil, &st, ent.err
+	}
+	return ent.resFaults.Clone(), &st, ent.err
+}
+
+// BatchPool abstracts the worker pool DiagnoseBatch distributes its
+// syndromes on. RunScratch must invoke fn exactly once for every index
+// in [0, n) — each invocation receiving a *Scratch that belongs to the
+// executing worker for the duration of the call — and return only once
+// every index has completed. The engine's default pool spawns transient
+// goroutines per call; campaign.Runtime implements the interface with
+// persistent workers (pinned scratches, no per-batch pool
+// construction) so long-running batch clients share one runtime across
+// campaigns, CLI batches and replay drivers.
+type BatchPool interface {
+	RunScratch(n int, fn func(sc *Scratch, i int))
+}
+
+// transientPool is the default BatchPool: goroutines spawned per call,
+// each owning a pooled engine scratch, work distributed by an atomic
+// cursor.
+type transientPool struct {
+	e       *Engine
+	workers int
+}
+
+// RunScratch implements BatchPool.
+func (p transientPool) RunScratch(n int, fn func(sc *Scratch, i int)) {
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = ClampWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := p.e.AcquireScratch()
+		for i := 0; i < n; i++ {
+			fn(sc, i)
+		}
+		p.e.ReleaseScratch(sc)
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := p.e.AcquireScratch()
+			defer p.e.ReleaseScratch(sc)
+			for {
+				i := next.Add(1)
+				if i >= int64(n) {
+					return
+				}
+				fn(sc, int(i))
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // BatchOptions tunes DiagnoseBatch.
 type BatchOptions struct {
 	// Workers is the size of the worker pool diagnosing syndromes
-	// concurrently; 0 or negative means GOMAXPROCS. Each worker owns a
-	// dedicated Scratch from the engine pool, so steady-state batches
-	// allocate only the caller-owned results.
+	// concurrently; 0 or negative means GOMAXPROCS, and requests above
+	// it are clamped (see ClampWorkers). Each worker owns a dedicated
+	// Scratch from the engine pool, so steady-state batches allocate
+	// only the caller-owned results. Ignored when Pool is set.
 	Workers int
+	// Pool, when non-nil, supplies the worker pool the batch runs on
+	// instead of transient per-call goroutines — see BatchPool and
+	// campaign.Runtime. The pool decides its own parallelism.
+	Pool BatchPool
+	// ShareCertification groups the batch's lazy syndromes by fault
+	// hypothesis and runs the Theorem 1 part scan once per group: the
+	// group's first syndrome certifies normally, and every other
+	// member adopts the shared verdict, paying only its final
+	// Set_Builder pass. Fault sets and final-pass look-ups stay
+	// bit-identical to individual calls; the members' Stats record the
+	// shared verdict with CertLookups = 0 and PartsScanned copied from
+	// the representative. Opt-in because it changes the members'
+	// observed total look-up counts (that saving is the feature).
+	//
+	// Sharing is sound because the scan certificate's per-part verdict
+	// does not depend on faulty-tester behaviour while the hypothesis
+	// respects the fault bound: a fault-free part is tested only by
+	// healthy members, a mixed part always contains a healthy member
+	// whose consulted pair holds its faulty part-neighbour (forcing a
+	// 1), and the one behaviour-dependent case — an all-faulty part —
+	// would need more than δ faults. Syndromes outside the guards
+	// (non-lazy, StrategyPaper, caller-supplied Parts, hypotheses
+	// beyond the bound) are diagnosed individually within the batch.
+	ShareCertification bool
 	// Options applies to every diagnosis in the batch. Scratch is
 	// ignored (workers bind their own); Workers inside Options still
 	// selects parallel part certification per syndrome and composes
@@ -269,41 +402,98 @@ func (e *Engine) DiagnoseBatch(syndromes []syndrome.Syndrome, opt BatchOptions) 
 	if len(syndromes) == 0 {
 		return results
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	pool := opt.Pool
+	if pool == nil {
+		pool = transientPool{e: e, workers: opt.Workers}
 	}
-	if workers > len(syndromes) {
-		workers = len(syndromes)
-	}
-	if workers == 1 {
-		sc := e.AcquireScratch()
-		for i, s := range syndromes {
-			results[i] = e.diagnoseOne(s, opt.Options, sc)
-		}
-		e.ReleaseScratch(sc)
+	if opt.ShareCertification {
+		e.diagnoseGrouped(pool, syndromes, opt.Options, results)
 		return results
 	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := e.AcquireScratch()
-			defer e.ReleaseScratch(sc)
-			for {
-				i := next.Add(1)
-				if i >= int64(len(syndromes)) {
-					return
-				}
-				results[i] = e.diagnoseOne(syndromes[i], opt.Options, sc)
-			}
-		}()
-	}
-	wg.Wait()
+	pool.RunScratch(len(syndromes), func(sc *Scratch, i int) {
+		results[i] = e.diagnoseOne(syndromes[i], opt.Options, sc)
+	})
 	return results
+}
+
+// diagnoseGrouped implements BatchOptions.ShareCertification: phase A
+// diagnoses each fault hypothesis's first syndrome (and every
+// ungroupable one) in full, phase B re-runs only the final pass of the
+// remaining group members under the representative's certification
+// verdict. See the ShareCertification field for the soundness argument
+// and the accounting contract.
+func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, opt Options, results []BatchResult) {
+	delta := e.delta
+	if opt.FaultBound > 0 && opt.FaultBound < delta {
+		delta = opt.FaultBound
+	}
+	groupable := opt.Strategy == StrategyScan && opt.Parts == nil
+
+	type group struct {
+		rep     int
+		members []int
+	}
+	var phaseA []int // representatives and ungroupable syndromes
+	var groups []*group
+	byHash := make(map[uint64][]*group)
+	for i, s := range syndromes {
+		lz, ok := s.(*syndrome.Lazy)
+		if !ok || !groupable || lz.Faults().Count() > delta {
+			phaseA = append(phaseA, i)
+			continue
+		}
+		h := faultsHash(lz.Faults())
+		var grp *group
+		for _, cand := range byHash[h] {
+			if syndromes[cand.rep].(*syndrome.Lazy).Faults().Equal(lz.Faults()) {
+				grp = cand
+				break
+			}
+		}
+		if grp == nil {
+			grp = &group{rep: i}
+			byHash[h] = append(byHash[h], grp)
+			groups = append(groups, grp)
+			phaseA = append(phaseA, i)
+			continue
+		}
+		grp.members = append(grp.members, i)
+	}
+
+	pool.RunScratch(len(phaseA), func(sc *Scratch, k int) {
+		i := phaseA[k]
+		results[i] = e.diagnoseOne(syndromes[i], opt, sc)
+	})
+
+	type memberTask struct {
+		idx    int
+		shared *sharedScan
+	}
+	var phaseB []memberTask
+	for _, grp := range groups {
+		if len(grp.members) == 0 {
+			continue
+		}
+		rep := results[grp.rep]
+		var sh *sharedScan
+		// A completed scan is shareable whether it certified
+		// (Err == nil or the final pass overflowed the bound) or
+		// exhausted the candidates (ErrNoHealthyPart); any other error
+		// happened before certification, so members diagnose in full
+		// and fail the same way the representative did.
+		if rep.Err == nil || errors.Is(rep.Err, ErrNoHealthyPart) || errors.Is(rep.Err, ErrTooManyFaults) {
+			sh = &sharedScan{certified: rep.Stats.CertifiedPart, partsScanned: rep.Stats.PartsScanned}
+		}
+		for _, m := range grp.members {
+			phaseB = append(phaseB, memberTask{m, sh})
+		}
+	}
+	pool.RunScratch(len(phaseB), func(sc *Scratch, k int) {
+		t := phaseB[k]
+		o := opt
+		o.shared = t.shared
+		results[t.idx] = e.diagnoseOne(syndromes[t.idx], o, sc)
+	})
 }
 
 // diagnoseOne runs one batch element on a worker-owned scratch and

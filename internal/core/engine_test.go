@@ -244,6 +244,7 @@ func TestEnginePartsErr(t *testing.T) {
 // the serving-path shape. Meaningful mainly under -race: the partition,
 // the tightened-partition cache and the scratch pool are shared.
 func TestConcurrentDiagnoseBatchSharedEngine(t *testing.T) {
+	setGOMAXPROCS(t, 4)
 	nw := topology.NewHypercube(8)
 	eng := NewEngine(nw)
 	delta := nw.Diagnosability()

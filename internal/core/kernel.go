@@ -33,12 +33,15 @@ type kernelBinder struct {
 
 // finalKernelRegistry is consulted in priority order at engine bind
 // time: the XOR kernel first (cheapest per-round permutes), then the
-// additive-rotate kernel for tori. Adding a kernel for a new structure
-// family means adding a descriptor type in internal/graph, a binder
-// here, and a declaration in internal/topology — see docs/kernels.md.
+// additive-rotate kernel for tori, then the mixed-radix compiler for
+// general per-digit additive structure (augmented k-ary cubes). Adding
+// a kernel for a new structure family means adding a descriptor type
+// in internal/graph, a binder here, and a declaration in
+// internal/topology — see docs/kernels.md.
 var finalKernelRegistry = []kernelBinder{
 	{"xor-cayley", bindXORKernel},
 	{"additive-rotate", bindAdditiveKernel},
+	{"additive-rotate[mixed-radix]", bindMixedRadixKernel},
 }
 
 // bindFinalKernel consults the registry in priority order. A nil result

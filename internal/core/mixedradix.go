@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sort"
+
+	"comparisondiag/internal/graph"
+)
+
+// The mixed-radix binder generalises the additive-rotate kernel to any
+// declared graph.MixedRadixCayley structure — per-dimension arities and
+// arbitrary digit-vector generators, which is what the augmented k-ary
+// n-cube's run edges ±(1,…,1,0,…,0) need (ROADMAP's "composed digit
+// rotations"). It compiles the structure down to the very addStep
+// schedule the torus kernel runs, so the word-parallel round machinery
+// (funnel-shifted frontiers gated by digit-condition masks, see
+// additive.go and runWordKernel) is reused unchanged.
+//
+// Compilation. A candidate v is adjacent to tester u = v ⊖ g (digit-wise
+// subtraction, each digit modulo its own arity). Digit d of that
+// subtraction borrows exactly when v_d < g_d, so fixing a borrow
+// pattern B over g's non-zero digits fixes the id-space delta:
+//
+//	u = v - shift(g, B),  shift(g, B) = Σ_d (g_d - [d ∈ B]·K_d)·s_d
+//
+// where s_d is the stride of dimension d. One (g, B) pair therefore
+// becomes one addStep whose condition mask selects precisely the ids
+// realising the pattern: v_d < g_d for d ∈ B, v_d ≥ g_d otherwise. The
+// per-(dimension, threshold) "digit < t" masks are materialised in one
+// pass over the id space at bind time.
+//
+// Exactness. For one candidate v and one generator g exactly one borrow
+// pattern applies (it is a function of v's digits), so the steps
+// partition v's testers: each neighbour appears in exactly one step
+// whose condition v satisfies. Distinct generators reach distinct
+// neighbours (they are distinct group elements), and a neighbour's id
+// determines its step's shift, so running the steps in descending shift
+// order visits every candidate's testers in strictly ascending node
+// order — the reference pass's exact prefix discipline (see
+// runWordKernel for why that makes output and look-up count
+// bit-identical). Mixed-radix number systems make the shift injective:
+// Σ c_d·s_d with |c_d| < K_d vanishes only for c = 0, so a step's shift
+// is zero or duplicated only for dead (empty-condition) steps, which
+// are dropped.
+
+// mixedRadixMaxSteps caps the compiled schedule: a generator with b
+// non-zero digits expands into 2^b borrow patterns, and a pathological
+// descriptor (many long generators) would turn every round into a full
+// sweep of thousands of masks. Beyond the cap the binder declines and
+// the engine serves the generic kernel — a throughput choice, never a
+// correctness one.
+const mixedRadixMaxSteps = 4096
+
+// bindMixedRadixKernel binds the compiled schedule to a graph declared
+// (and verified) to be a mixed-radix Cayley graph. Floor: ≥ 64 nodes,
+// like every word kernel.
+func bindMixedRadixKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel {
+	mr, ok := desc.(graph.MixedRadixCayley)
+	if !ok {
+		return nil
+	}
+	n := g.N()
+	dims := len(mr.Radices)
+	if n < 64 || dims < 1 || len(mr.Gens) == 0 || mr.Order() != n {
+		return nil
+	}
+	total := 0
+	for _, gen := range mr.Gens {
+		if len(gen) != dims {
+			return nil
+		}
+		nz := 0
+		for d, q := range gen {
+			if q < 0 || q >= mr.Radices[d] {
+				return nil
+			}
+			if q != 0 {
+				nz++
+			}
+		}
+		if nz == 0 || nz > 16 {
+			return nil
+		}
+		total += 1 << nz
+		if total > mixedRadixMaxSteps {
+			return nil
+		}
+	}
+	words := (n + 63) / 64
+
+	stride := make([]int, dims)
+	s := 1
+	for d, k := range mr.Radices {
+		stride[d] = s
+		s *= k
+	}
+
+	// Collect the thresholds each dimension is compared against, then
+	// materialise every "digit_d(v) < t" mask in one pass over the ids.
+	ltMask := make([]map[int][]uint64, dims)
+	for d := range ltMask {
+		ltMask[d] = make(map[int][]uint64)
+	}
+	for _, gen := range mr.Gens {
+		for d, q := range gen {
+			if q != 0 && ltMask[d][q] == nil {
+				ltMask[d][q] = make([]uint64, words)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		x := v
+		bit := uint64(1) << (uint(v) & 63)
+		wi := v >> 6
+		for d, k := range mr.Radices {
+			digit := x % k
+			for t, mask := range ltMask[d] {
+				if digit < t {
+					mask[wi] |= bit
+				}
+			}
+			x /= k
+		}
+	}
+	valid := make([]uint64, words)
+	for wi := range valid {
+		valid[wi] = ^uint64(0)
+	}
+	if n&63 != 0 {
+		valid[words-1] = 1<<(uint(n)&63) - 1
+	}
+
+	steps := make([]addStep, 0, total)
+	for _, gen := range mr.Gens {
+		var nz []int
+		for d, q := range gen {
+			if q != 0 {
+				nz = append(nz, d)
+			}
+		}
+		for pat := 0; pat < 1<<len(nz); pat++ {
+			shift := 0
+			cond := make([]uint64, words)
+			copy(cond, valid)
+			for j, d := range nz {
+				q := gen[d]
+				lt := ltMask[d][q]
+				if pat>>j&1 == 1 {
+					// Digit d borrows: v_d < g_d.
+					shift += (q - mr.Radices[d]) * stride[d]
+					for wi := range cond {
+						cond[wi] &= lt[wi]
+					}
+				} else {
+					shift += q * stride[d]
+					for wi := range cond {
+						cond[wi] &^= lt[wi]
+					}
+				}
+			}
+			live := false
+			for _, w := range cond {
+				if w != 0 {
+					live = true
+					break
+				}
+			}
+			if live {
+				steps = append(steps, addStep{shift: shift, cond: cond})
+			}
+		}
+	}
+	// Descending shift = ascending tester id per candidate (see the
+	// file comment); stable to keep binding deterministic.
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].shift > steps[j].shift })
+	return &additiveKernel{
+		name:      "additive-rotate[mixed-radix]",
+		steps:     steps,
+		threshold: mixedRadixThreshold(stepWords(steps), len(steps), g),
+	}
+}
+
+// mixedRadixThreshold is the word-round crossover for compiled
+// mixed-radix schedules. It differs from the shared sweepThresholdFor
+// in two calibrated ways: a compiled schedule runs hundreds of steps
+// per round (the torus kernel runs 4·dims), so the per-step loop
+// overhead joins the per-word visit cost; and the dense, small-diameter
+// graphs this kernel serves make a sweep probe cheaper than the
+// generic model's estimate, pushing the crossover further up. Both
+// corrections only move the round-path choice — every path is
+// result- and look-up-identical (see runWordKernel), so a miscalibrated
+// threshold costs nanoseconds, never answers.
+func mixedRadixThreshold(cost, steps int, g *graph.Graph) int {
+	words := (g.N() + 63) / 64
+	deg := g.MaxDegree()
+	if deg == 0 {
+		return words
+	}
+	t := (5*cost + 40*steps) / (2 * deg)
+	if t < words {
+		t = words
+	}
+	return t
+}

@@ -41,6 +41,11 @@ type parallelAdmission struct {
 // sequential pass; callers that need wall-clock on huge graphs use this
 // one.
 func SetBuilderParallel(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set, workers int) *SetBuilderResult {
+	if workers = ClampWorkers(workers); workers < 2 {
+		// One hardware thread: the barrier machinery cannot pay for
+		// itself, and the sequential pass is additionally look-up-exact.
+		return SetBuilderInto(NewScratch(g.N()), g, s, u0, delta, restrict)
+	}
 	return setBuilderParallelInto(NewScratch(g.N()), g, s, u0, delta, restrict, workers)
 }
 

@@ -16,6 +16,7 @@ import (
 // look-up count may grow), and the look-up accounting through the
 // shard views stays exact.
 func TestSetBuilderParallelMatchesSequential(t *testing.T) {
+	setGOMAXPROCS(t, 4)
 	for _, nw := range []topology.Network{
 		topology.NewHypercube(12), // crosses the per-round parallel threshold
 		topology.NewHypercube(9),
@@ -64,6 +65,7 @@ func TestSetBuilderParallelMatchesSequential(t *testing.T) {
 // TestSetBuilderParallelRestricted checks the restricted variant (the
 // per-part Set_Builder shape) keeps growth inside the restriction.
 func TestSetBuilderParallelRestricted(t *testing.T) {
+	setGOMAXPROCS(t, 4)
 	nw := topology.NewHypercube(10)
 	g := nw.Graph()
 	delta := nw.Diagnosability()
@@ -91,6 +93,7 @@ func TestSetBuilderParallelRestricted(t *testing.T) {
 // with a parallel final pass on a graph past the size gate and checks
 // the fault set matches the sequential result.
 func TestDiagnoseFinalWorkersMatchesSequential(t *testing.T) {
+	setGOMAXPROCS(t, 4)
 	nw := topology.NewHypercube(12) // 4096 nodes: exactly at the gate
 	delta := nw.Diagnosability()
 	for trial := int64(0); trial < 3; trial++ {

@@ -16,6 +16,7 @@ import (
 // this also proves the shards keep the plain-counter Lazy data-race
 // free.
 func TestParallelCertifySharding(t *testing.T) {
+	setGOMAXPROCS(t, 4)
 	nw := topology.NewHypercube(9)
 	delta := nw.Diagnosability()
 	for trial := int64(0); trial < 8; trial++ {
@@ -39,6 +40,7 @@ func TestParallelCertifySharding(t *testing.T) {
 // parallel scan: it must certify a part yielding the same fault set as
 // the sequential scan (the least certifying index wins).
 func TestParallelCertifyMatchesSequentialResult(t *testing.T) {
+	setGOMAXPROCS(t, 4)
 	nw := topology.NewHypercube(9)
 	delta := nw.Diagnosability()
 	for trial := int64(10); trial < 16; trial++ {
@@ -65,6 +67,7 @@ func TestParallelCertifyMatchesSequentialResult(t *testing.T) {
 // own syndrome but drawing scratches from the shared pool — the
 // campaign workload shape. Meaningful mainly under -race.
 func TestConcurrentDiagnoses(t *testing.T) {
+	setGOMAXPROCS(t, 4)
 	nw := topology.NewHypercube(8)
 	delta := nw.Diagnosability()
 	var wg sync.WaitGroup

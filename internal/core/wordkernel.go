@@ -100,6 +100,8 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 		res.Rounds = 1
 	}
 
+	n := g.N()
+	uCount := 1 + len(frontier)
 	added := sc.added
 	offs, tgts := g.Adjacency()
 	uw := res.U.Words()
@@ -119,30 +121,7 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 	// decides it — this drops a membership test from every admission.
 	for len(frontier) > 0 {
 		admitted := 0
-		if !sorted || len(frontier) <= threshold {
-			// Small round: the devirtualised reference sweep (as in
-			// setBuilderLazyInto) beats whole-bitset permutes.
-			for _, u := range frontier {
-				tu := parent[u]
-				for ai, end := offs[u], offs[u+1]; ai < end; ai++ {
-					v := tgts[ai]
-					if uw[v>>6]&(1<<(uint(v)&63)) != 0 {
-						continue
-					}
-					if l.Test(u, v, tu) == 0 {
-						uw[v>>6] |= 1 << (uint(v) & 63)
-						parent[v] = u
-						added.Add(int(v))
-						admitted++
-					}
-				}
-			}
-			if admitted == 0 {
-				break
-			}
-			next = added.Drain(next[:0])
-			sorted = true
-		} else {
+		if sorted && len(frontier) > threshold {
 			copy(pw, uw)
 			// Word-parallel round against the fixed round-start frontier.
 			for _, u := range frontier {
@@ -165,7 +144,80 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 					next = append(next, int32(wi<<6+bits.TrailingZeros64(d)))
 				}
 			}
+		} else if sorted && len(frontier) > n-uCount {
+			// Dense sweep round: few non-members remain, so walk V∖U and
+			// probe each non-member's frontier neighbours in ascending
+			// order until one vouches — the same test prefix, far fewer
+			// probes (the adaptive direction of setBuilderLazyInto).
+			for _, u := range frontier {
+				fw[u>>6] |= 1 << (uint(u) & 63)
+			}
+			next = next[:0]
+			for wi, w := range uw {
+				inv := ^w
+				if wi == len(uw)-1 {
+					if tail := n & 63; tail != 0 {
+						inv &= 1<<uint(tail) - 1
+					}
+				}
+				for inv != 0 {
+					v := int32(wi<<6 + bits.TrailingZeros64(inv))
+					inv &= inv - 1
+					for ai, end := offs[v], offs[v+1]; ai < end; ai++ {
+						u := tgts[ai]
+						if fw[u>>6]&(1<<(uint(u)&63)) == 0 {
+							continue
+						}
+						if l.Test(u, v, parent[u]) != 0 {
+							continue
+						}
+						parent[v] = u
+						next = append(next, v)
+						admitted++
+						break
+					}
+				}
+			}
+			for _, u := range frontier {
+				fw[u>>6] &^= 1 << (uint(u) & 63)
+			}
+			if admitted == 0 {
+				break
+			}
+			// The complement walk visits v ascending, so next is already
+			// the sorted frontier; membership is applied afterwards
+			// (admitted nodes are not frontier members this round, so
+			// deferral is unobservable — see setBuilderLazyInto).
+			for _, v := range next {
+				uw[v>>6] |= 1 << (uint(v) & 63)
+			}
+		} else {
+			// Small (or unsorted) round: the devirtualised reference
+			// sweep (as in setBuilderLazyInto) beats whole-bitset
+			// permutes and is the only order-preserving option for a
+			// scrambled U_1 frontier.
+			for _, u := range frontier {
+				tu := parent[u]
+				for ai, end := offs[u], offs[u+1]; ai < end; ai++ {
+					v := tgts[ai]
+					if uw[v>>6]&(1<<(uint(v)&63)) != 0 {
+						continue
+					}
+					if l.Test(u, v, tu) == 0 {
+						uw[v>>6] |= 1 << (uint(v) & 63)
+						parent[v] = u
+						added.Add(int(v))
+						admitted++
+					}
+				}
+			}
+			if admitted == 0 {
+				break
+			}
+			next = added.Drain(next[:0])
+			sorted = true
 		}
+		uCount += admitted
 		frontier, next = next, frontier
 		res.Rounds++
 	}

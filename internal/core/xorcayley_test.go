@@ -48,6 +48,10 @@ func TestKernelBinding(t *testing.T) {
 		{topology.NewAugmentedCube(8), "xor-cayley[multi-bit]"},
 		{topology.NewKAryNCube(4, 4), "additive-rotate"},
 		{topology.NewKAryNCube(3, 5), "additive-rotate"},
+		// Augmented k-ary cubes declare the mixed-radix descriptor; the
+		// run generators compile into per-borrow-pattern steps.
+		{topology.NewAugmentedKAryNCube(4, 3), "additive-rotate[mixed-radix]"},
+		{topology.NewAugmentedKAryNCube(3, 6), "additive-rotate[mixed-radix]"},
 		// Negative cases: permutation families have no uniform
 		// generator set and must stay on the generic kernel.
 		{topology.NewStar(5), "generic"},
@@ -59,6 +63,7 @@ func TestKernelBinding(t *testing.T) {
 		// Q5 has 32 < 64 nodes: genuine structure, below the word floor.
 		{topology.NewHypercube(5), "generic"},
 		{topology.NewKAryNCube(3, 3), "generic"},
+		{topology.NewAugmentedKAryNCube(3, 3), "generic"}, // 27 < 64 nodes
 	}
 	for _, c := range cases {
 		if got := NewEngine(c.nw).KernelName(); got != c.want {
@@ -128,6 +133,10 @@ func structuredNetworks() []topology.Network {
 		topology.NewKAryNCube(4, 3),
 		topology.NewKAryNCube(3, 4),
 		topology.NewKAryNCube(4, 5),
+		topology.NewAugmentedKAryNCube(4, 3), // mixed-radix, 64 nodes
+		topology.NewAugmentedKAryNCube(5, 3), // mixed-radix, ragged tail
+		topology.NewAugmentedKAryNCube(3, 6), // mixed-radix, long run generators
+		topology.NewAugmentedKAryNCube(4, 5), // mixed-radix, word-round regime
 	}
 }
 

@@ -145,8 +145,8 @@ func RunCentralCollect(g *graph.Graph, s syndrome.Syndrome, delta int, parts []t
 	// procedure (its further look-ups are central, not network traffic).
 	// This is a one-shot diagnosis per collection wave, so the free
 	// function with its process-wide scratch pool is the right shape; a
-	// centre serving many waves against one graph would bind a
-	// core.Engine instead (see core.NewGraphEngine).
+	// centre serving many waves against one graph binds the persistent
+	// CollectServer instead (engine + campaign.Runtime + result cache).
 	faults, _, err := core.DiagnoseGraph(g, delta, parts, s, core.Options{})
 	if err != nil {
 		return nil, stats, err

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"comparisondiag/internal/core"
 	"comparisondiag/internal/graph"
 )
 
@@ -61,12 +62,15 @@ type Engine struct {
 	workers int
 }
 
-// NewEngine creates an engine; workers ≤ 0 means GOMAXPROCS.
+// NewEngine creates an engine; workers ≤ 0 means GOMAXPROCS, and
+// requests above it are clamped (core.ClampWorkers) — simulator
+// goroutines beyond the scheduler's parallelism only add coordination
+// overhead.
 func NewEngine(g *graph.Graph, workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{g: g, workers: workers}
+	return &Engine{g: g, workers: core.ClampWorkers(workers)}
 }
 
 // CountTests lets protocols report comparison tests they performed.

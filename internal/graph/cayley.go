@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"slices"
+	"strings"
 )
 
 // Algebraic adjacency descriptors. A regular interconnection network is
@@ -15,7 +16,7 @@ import (
 // package *verifies* a declaration against the CSR adjacency before
 // anything trusts it — a descriptor is data, not proof.
 //
-// Two families of descriptors cover the paper's regular networks:
+// Three families of descriptors cover the paper's regular networks:
 //
 //   - XORCayley: node ids are bit strings and N(u) = {u ⊕ m} over a set
 //     of masks. Hypercubes (single-bit masks), folded and enhanced
@@ -23,6 +24,11 @@ import (
 //     (multi-bit run masks) are all of this shape.
 //   - AdditiveCayley: node ids are n-digit base-k strings and
 //     N(u) = u ± 1 (mod k) in each digit — the k-ary n-cube (torus).
+//   - MixedRadixCayley: the general additive case — node ids are digit
+//     strings with per-dimension arities and the generators are
+//     arbitrary digit vectors added digit-wise (each digit wrapping
+//     modulo its own arity). Augmented k-ary n-cubes (torus edges plus
+//     ±(1,…,1,0,…,0) run generators) are of this shape.
 //
 // Crossed, twisted and shuffle cubes are intentionally *not* describable
 // here: their edge rules read other bits of the endpoint (pair-relations,
@@ -96,6 +102,50 @@ func (a AdditiveCayley) String() string {
 	return fmt.Sprintf("additive cayley over Z_%d^%d (±1 per digit)", a.K, a.Dims)
 }
 
+// MixedRadixCayley declares a Cayley graph of the abelian group
+// Z_{K_0} × … × Z_{K_{n-1}}: node ids are mixed-radix digit strings
+// (digit d has arity Radices[d]; dimension 0 is the least significant)
+// and N(u) = {u + g : g ∈ Gens} with the addition performed digit-wise,
+// each digit wrapping modulo its own arity. Gens must be distinct,
+// non-zero, digit-wise in range, and closed under negation (adjacency
+// is symmetric: u + g ~ u requires -g ∈ Gens).
+//
+// AdditiveCayley is the special case of uniform arity with the ±1 unit
+// vectors as generators; MixedRadixCayley additionally expresses the
+// augmented k-ary n-cube's run generators ±(1,…,1,0,…,0) — whose
+// id-space delta is node-dependent because every digit wraps
+// independently — and per-dimension arities.
+type MixedRadixCayley struct {
+	Radices []int   // per-dimension arities, each ≥ 2, low dimension first
+	Gens    [][]int // generator digit vectors, Gens[i][d] ∈ [0, Radices[d])
+}
+
+// Order implements CayleyDescriptor.
+func (m MixedRadixCayley) Order() int {
+	n := 1
+	for _, k := range m.Radices {
+		n *= k
+	}
+	return n
+}
+
+// Degree implements CayleyDescriptor.
+func (m MixedRadixCayley) Degree() int { return len(m.Gens) }
+
+// String implements CayleyDescriptor.
+func (m MixedRadixCayley) String() string {
+	var sb strings.Builder
+	sb.WriteString("mixed-radix cayley over ")
+	for i, k := range m.Radices {
+		if i > 0 {
+			sb.WriteString("×")
+		}
+		fmt.Fprintf(&sb, "Z_%d", k)
+	}
+	fmt.Fprintf(&sb, ", %d generators", len(m.Gens))
+	return sb.String()
+}
+
 // VerifyCayley checks a descriptor against the graph's CSR adjacency:
 // nil means every node's neighbourhood is exactly the generator set
 // applied to its id. The check is O(m) and runs once at engine bind
@@ -108,6 +158,8 @@ func VerifyCayley(g *Graph, d CayleyDescriptor) error {
 		return verifyXORCayley(g, d)
 	case AdditiveCayley:
 		return verifyAdditiveCayley(g, d)
+	case MixedRadixCayley:
+		return verifyMixedRadixCayley(g, d)
 	case nil:
 		return fmt.Errorf("graph: nil Cayley descriptor")
 	default:
@@ -187,6 +239,109 @@ func verifyAdditiveCayley(g *Graph, d AdditiveCayley) error {
 		slices.Sort(want)
 		if !slices.Equal(want, g.Neighbors(u)) {
 			return fmt.Errorf("graph: node %d adjacency %v does not match the ±1-per-digit generators %v", u, g.Neighbors(u), want)
+		}
+	}
+	return nil
+}
+
+func verifyMixedRadixCayley(g *Graph, d MixedRadixCayley) error {
+	dims := len(d.Radices)
+	if dims < 1 {
+		return fmt.Errorf("graph: mixed-radix descriptor has no dimensions")
+	}
+	n := g.N()
+	order := 1
+	for i, k := range d.Radices {
+		if k < 2 {
+			return fmt.Errorf("graph: mixed-radix arity %d in dimension %d (need ≥ 2)", k, i)
+		}
+		if order > n {
+			break
+		}
+		order *= k
+	}
+	if order != n {
+		return fmt.Errorf("graph: mixed-radix order %d does not match %d nodes", order, n)
+	}
+	if len(d.Gens) == 0 {
+		return fmt.Errorf("graph: mixed-radix descriptor has no generators")
+	}
+	stride := make([]int32, dims)
+	s := int32(1)
+	for i, k := range d.Radices {
+		stride[i] = s
+		s *= int32(k)
+	}
+	// Shape checks: in-range digits, non-zero vectors, distinctness and
+	// closure under negation (so the generated graph is undirected).
+	// Distinct generators of an abelian group move every node to
+	// distinct neighbours, so the per-node check below only needs the
+	// degree and edge-membership tests.
+	seen := make(map[string]bool, len(d.Gens))
+	neg := make(map[string]bool, len(d.Gens))
+	keyOf := func(gen []int) string {
+		b := make([]byte, 0, len(gen)*2)
+		for _, q := range gen {
+			b = append(b, byte(q), byte(q>>8))
+		}
+		return string(b)
+	}
+	for gi, gen := range d.Gens {
+		if len(gen) != dims {
+			return fmt.Errorf("graph: generator %d has %d digits, descriptor has %d dimensions", gi, len(gen), dims)
+		}
+		zero := true
+		negGen := make([]int, dims)
+		for di, q := range gen {
+			if q < 0 || q >= d.Radices[di] {
+				return fmt.Errorf("graph: generator %d digit %d = %d out of range [0, %d)", gi, di, q, d.Radices[di])
+			}
+			if q != 0 {
+				zero = false
+				negGen[di] = d.Radices[di] - q
+			}
+		}
+		if zero {
+			return fmt.Errorf("graph: generator %d is the identity", gi)
+		}
+		k := keyOf(gen)
+		if seen[k] {
+			return fmt.Errorf("graph: generator %d repeated", gi)
+		}
+		seen[k] = true
+		neg[keyOf(negGen)] = true
+	}
+	for k := range neg {
+		if !seen[k] {
+			return fmt.Errorf("graph: generator set not closed under negation (adjacency could not be symmetric)")
+		}
+	}
+	digits := make([]int, dims)
+	want := make([]int32, 0, len(d.Gens))
+	for u := int32(0); int(u) < n; u++ {
+		x := u
+		for di, k := range d.Radices {
+			digits[di] = int(x % int32(k))
+			x /= int32(k)
+		}
+		want = want[:0]
+		for _, gen := range d.Gens {
+			v := u
+			for di, q := range gen {
+				if q == 0 {
+					continue
+				}
+				nd := digits[di] + q
+				if nd >= d.Radices[di] {
+					nd -= d.Radices[di]
+				}
+				v += int32(nd-digits[di]) * stride[di]
+			}
+			want = append(want, v)
+		}
+		slices.Sort(want)
+		if !slices.Equal(want, g.Neighbors(u)) {
+			return fmt.Errorf("graph: node %d adjacency %v does not match the declared generators %v", u, g.Neighbors(u), want)
 		}
 	}
 	return nil

@@ -69,6 +69,116 @@ func karyGraph(k, n int) *Graph {
 	})
 }
 
+// mixedTorus builds the torus with per-dimension arities (±1 in each
+// digit, every digit wrapping modulo its own radix) — additive
+// structure no uniform-k AdditiveCayley can express.
+func mixedTorus(radices []int) *Graph {
+	N := 1
+	for _, k := range radices {
+		N *= k
+	}
+	return FromAdjacency(N, func(u int32) []int32 {
+		out := make([]int32, 0, 2*len(radices))
+		stride := int32(1)
+		x := u
+		for _, k := range radices {
+			digit := x % int32(k)
+			up, down := u+stride, u-stride
+			if digit == int32(k-1) {
+				up = u - int32(k-1)*stride
+			}
+			if digit == 0 {
+				down = u + int32(k-1)*stride
+			}
+			out = append(out, up, down)
+			x /= int32(k)
+			stride *= int32(k)
+		}
+		return out
+	})
+}
+
+// mixedTorusDescriptor declares mixedTorus: ± unit vectors per digit.
+func mixedTorusDescriptor(radices []int) MixedRadixCayley {
+	var gens [][]int
+	for d, k := range radices {
+		up := make([]int, len(radices))
+		down := make([]int, len(radices))
+		up[d], down[d] = 1, k-1
+		gens = append(gens, up, down)
+	}
+	return MixedRadixCayley{Radices: radices, Gens: gens}
+}
+
+// augKaryGraph rebuilds the augmented k-ary n-cube adjacency (torus
+// edges plus ± runs over the i low digits, every digit wrapping
+// independently).
+func augKaryGraph(k, n int) *Graph {
+	N := 1
+	for i := 0; i < n; i++ {
+		N *= k
+	}
+	return FromAdjacency(int(N), func(u int32) []int32 {
+		digits := make([]int32, n)
+		x := u
+		for d := 0; d < n; d++ {
+			digits[d] = x % int32(k)
+			x /= int32(k)
+		}
+		add := func(length, sign int) int32 {
+			v := u
+			stride := int32(1)
+			for d := 0; d < length; d++ {
+				nd := (digits[d] + int32(sign) + int32(k)) % int32(k)
+				v += (nd - digits[d]) * stride
+				stride *= int32(k)
+			}
+			return v
+		}
+		var out []int32
+		stride := int32(1)
+		for d := 0; d < n; d++ {
+			up, down := u+stride, u-stride
+			if digits[d] == int32(k-1) {
+				up = u - int32(k-1)*stride
+			}
+			if digits[d] == 0 {
+				down = u + int32(k-1)*stride
+			}
+			out = append(out, up, down)
+			stride *= int32(k)
+		}
+		for i := 2; i <= n; i++ {
+			out = append(out, add(i, 1), add(i, -1))
+		}
+		return out
+	})
+}
+
+// augKaryDescriptor declares augKaryGraph.
+func augKaryDescriptor(k, n int) MixedRadixCayley {
+	radices := make([]int, n)
+	for d := range radices {
+		radices[d] = k
+	}
+	var gens [][]int
+	for d := 0; d < n; d++ {
+		up := make([]int, n)
+		down := make([]int, n)
+		up[d], down[d] = 1, k-1
+		gens = append(gens, up, down)
+	}
+	for i := 2; i <= n; i++ {
+		up := make([]int, n)
+		down := make([]int, n)
+		for d := 0; d < i; d++ {
+			up[d], down[d] = 1, k-1
+		}
+		gens = append(gens, up, down)
+	}
+	return MixedRadixCayley{Radices: radices, Gens: gens}
+}
+
 func hyperMasks(n int) []int32 {
 	masks := make([]int32, n)
 	for b := range masks {
@@ -100,6 +210,54 @@ func TestVerifyAdditiveCayleyAcceptsTori(t *testing.T) {
 		if err := VerifyCayley(g, AdditiveCayley{K: c.k, Dims: c.n}); err != nil {
 			t.Errorf("Q^%d_%d: %v", c.k, c.n, err)
 		}
+	}
+}
+
+func TestVerifyMixedRadixCayleyAcceptsFamilies(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		g    *Graph
+		d    MixedRadixCayley
+	}{
+		{"AQ(3,3)", augKaryGraph(3, 3), augKaryDescriptor(3, 3)},
+		{"AQ(2,4)", augKaryGraph(4, 2), augKaryDescriptor(4, 2)},
+		{"Z3xZ4xZ5", mixedTorus([]int{3, 4, 5}), mixedTorusDescriptor([]int{3, 4, 5})},
+	} {
+		if err := VerifyCayley(c.g, c.d); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if c.d.Order() != c.g.N() || c.d.Degree() != c.g.MaxDegree() {
+			t.Errorf("%s: descriptor shape (%d, %d) vs graph (%d, %d)",
+				c.name, c.d.Order(), c.d.Degree(), c.g.N(), c.g.MaxDegree())
+		}
+	}
+}
+
+func TestVerifyMixedRadixCayleyRejectsMalformed(t *testing.T) {
+	g := mixedTorus([]int{3, 4, 5})
+	good := mixedTorusDescriptor([]int{3, 4, 5})
+	bad := []struct {
+		name string
+		d    MixedRadixCayley
+	}{
+		{"radix order swapped", mixedTorusDescriptor([]int{5, 4, 3})},
+		{"radix below 2", MixedRadixCayley{Radices: []int{1, 60}, Gens: good.Gens}},
+		{"wrong order", mixedTorusDescriptor([]int{3, 4, 4})},
+		{"no generators", MixedRadixCayley{Radices: []int{3, 4, 5}}},
+		{"identity generator", MixedRadixCayley{Radices: []int{3, 4, 5}, Gens: append([][]int{{0, 0, 0}}, good.Gens...)}},
+		{"digit out of range", MixedRadixCayley{Radices: []int{3, 4, 5}, Gens: append([][]int{{3, 0, 0}}, good.Gens[1:]...)}},
+		{"repeated generator", MixedRadixCayley{Radices: []int{3, 4, 5}, Gens: append([][]int{good.Gens[0]}, good.Gens...)}},
+		{"not closed under negation", MixedRadixCayley{Radices: []int{3, 4, 5}, Gens: good.Gens[:3]}},
+		{"short generator", MixedRadixCayley{Radices: []int{3, 4, 5}, Gens: [][]int{{1, 0}, {2, 3}}}},
+	}
+	for _, c := range bad {
+		if err := VerifyCayley(g, c.d); err == nil {
+			t.Errorf("%s: descriptor accepted, want rejection", c.name)
+		}
+	}
+	// The true descriptor on a different graph of the same order.
+	if err := VerifyCayley(ring(60), good); err == nil {
+		t.Error("mixed torus descriptor accepted on a ring")
 	}
 }
 
@@ -229,6 +387,8 @@ func TestVerifyCayleyRejectsMutatedEdges(t *testing.T) {
 		{"Q6", hyperGraph(6), XORCayley{Bits: 6, Masks: hyperMasks(6)}},
 		{"FQ6", foldedGraph(6), XORCayley{Bits: 6, Masks: append(hyperMasks(6), 63)}},
 		{"kary43", karyGraph(4, 3), AdditiveCayley{K: 4, Dims: 3}},
+		{"augkary33", augKaryGraph(3, 3), augKaryDescriptor(3, 3)},
+		{"mixedtorus", mixedTorus([]int{3, 4, 5}), mixedTorusDescriptor([]int{3, 4, 5})},
 	}
 	rng := rand.New(rand.NewSource(42))
 	for _, c := range cases {

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/campaign"
 	"comparisondiag/internal/core"
 	"comparisondiag/internal/syndrome"
 	"comparisondiag/internal/topology"
@@ -259,6 +260,133 @@ func batchGenericCase(nw topology.Network, k int) Result {
 	})
 }
 
+// campaignSweepCase measures the campaign serving path end to end: a
+// low-fault sweep (f = 0..1, the replay-heavy regime where repeated
+// hypotheses dominate — every f = 0 trial is the same empty syndrome)
+// through Sweep's persistent runtime, with and without the engine
+// result cache. Each op binds a fresh cache so the populating misses
+// are always measured; the cached-vs-nocache ns/op ratio is the
+// campaign throughput headline.
+func campaignSweepCase(nw topology.Network, cached bool) Result {
+	name := "campaignsweep/" + nw.Name()
+	if !cached {
+		name = "campaignsweepnocache/" + nw.Name()
+	}
+	cfg := campaign.Config{MinFaults: 0, MaxFaults: 1, Trials: 64, Seed: 5, Workers: 1}
+	op := func() {
+		c := cfg
+		if cached {
+			c.Cache = core.NewResultCache(256)
+		}
+		for _, p := range campaign.Sweep(nw, c) {
+			if p.Exact != p.Trials {
+				panic("sweep outcome drifted")
+			}
+		}
+	}
+	return run(name, nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
+// batchRepeatCase measures DiagnoseBatch over a batch whose syndromes
+// repeat a few hypotheses (total syndromes over `distinct` distinct
+// fault sets) — the cache-friendly repeated-syndrome workload. The
+// cached variant binds a fresh ResultCache per op, so each op pays the
+// `distinct` populating diagnoses and replays the rest; lookups/op
+// records the consultation saving.
+func batchRepeatCase(nw topology.Network, total, distinct int, cached bool) Result {
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	eng := core.NewEngine(nw)
+	faultSets := make([]*bitset.Set, distinct)
+	for d := range faultSets {
+		faultSets[d] = syndrome.RandomFaults(g.N(), delta, rand.New(rand.NewSource(int64(d)+500)))
+	}
+	name := fmt.Sprintf("batchrepeat%d/%s", total, nw.Name())
+	if !cached {
+		name = fmt.Sprintf("batchrepeat%dnocache/%s", total, nw.Name())
+	}
+	op := func() int64 {
+		syns := make([]syndrome.Syndrome, total)
+		for i := range syns {
+			syns[i] = syndrome.NewLazy(faultSets[i%distinct], syndrome.Mimic{})
+		}
+		var opt core.BatchOptions
+		if cached {
+			opt.Options.ResultCache = core.NewResultCache(2 * distinct)
+		}
+		for i, r := range eng.DiagnoseBatch(syns, opt) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+			if !r.Faults.Equal(faultSets[i%distinct]) {
+				panic("misdiagnosis")
+			}
+		}
+		var lookups int64
+		for _, s := range syns {
+			lookups += s.Lookups()
+		}
+		return lookups
+	}
+	return run(name, op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
+// batchSharedCertCase measures batch-aware certification: hypotheses
+// replayed under several adversaries with ShareCertification grouping,
+// so each hypothesis's part scan runs once. The saving shows in
+// lookups/op (certification consultations disappear for group
+// members); fault sets and final passes are bit-identical to
+// individual calls.
+func batchSharedCertCase(nw topology.Network, hyps int, share bool) Result {
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	eng := core.NewEngine(nw)
+	behaviors := []syndrome.Behavior{syndrome.Mimic{}, syndrome.AllZero{}, syndrome.AllOne{}, syndrome.Inverted{}}
+	faultSets := make([]*bitset.Set, hyps)
+	for d := range faultSets {
+		faultSets[d] = syndrome.RandomFaults(g.N(), delta, rand.New(rand.NewSource(int64(d)+900)))
+	}
+	total := hyps * len(behaviors)
+	name := fmt.Sprintf("batchsharedcert%d/%s", total, nw.Name())
+	if !share {
+		name = fmt.Sprintf("batchsharedcert%doff/%s", total, nw.Name())
+	}
+	op := func() int64 {
+		syns := make([]syndrome.Syndrome, 0, total)
+		for _, F := range faultSets {
+			for _, b := range behaviors {
+				syns = append(syns, syndrome.NewLazy(F, b))
+			}
+		}
+		for _, r := range eng.DiagnoseBatch(syns, core.BatchOptions{ShareCertification: share}) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+		}
+		var lookups int64
+		for _, s := range syns {
+			lookups += s.Lookups()
+		}
+		return lookups
+	}
+	return run(name, op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
 // graphBuildCase measures CSR construction of Q_n via the Builder.
 func graphBuildCase(n int) Result {
 	return run(fmt.Sprintf("graphbuild/Q%d", n), nil, func(b *testing.B) {
@@ -326,6 +454,38 @@ func Suite() *Report {
 		batchGenericCase(topology.NewAugmentedCube(10), 64),
 		batchDiagnoseCase(topology.NewKAryNCube(4, 7), 64),
 		batchGenericCase(topology.NewKAryNCube(4, 7), 64),
+	)
+	// PR 4: the persistent campaign runtime + engine result cache
+	// (cached vs uncached sweep and repeated-syndrome batches),
+	// batch-aware certification, and the mixed-radix kernel pair for
+	// the augmented k-ary family.
+	rep.Results = append(rep.Results,
+		campaignSweepCase(topology.NewHypercube(14), true),
+		campaignSweepCase(topology.NewHypercube(14), false),
+		batchRepeatCase(topology.NewHypercube(14), 64, 8, true),
+		batchRepeatCase(topology.NewHypercube(14), 64, 8, false),
+		batchSharedCertCase(topology.NewHypercube(14), 16, true),
+		batchSharedCertCase(topology.NewHypercube(14), 16, false),
+		engineDiagnoseCase(topology.NewAugmentedKAryNCube(4, 5)),
+		batchDiagnoseCase(topology.NewAugmentedKAryNCube(4, 5), 64),
+		batchGenericCase(topology.NewAugmentedKAryNCube(4, 5), 64),
+	)
+	return rep
+}
+
+// QuickSuite is the smoke subset for PR CI (bench.sh -quick): the
+// fastest representative of each subsystem, small graphs only, so the
+// whole run finishes in seconds while still catching a pathological
+// hot-path regression or a panicking serving path.
+func QuickSuite() *Report {
+	rep := &Report{Schema: 1, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	rep.Results = append(rep.Results,
+		diagnoseCase(topology.NewHypercube(10)),
+		setBuilderCase(topology.NewHypercube(10)),
+		engineDiagnoseCase(topology.NewHypercube(10)),
+		batchRepeatCase(topology.NewHypercube(10), 16, 4, true),
+		campaignSweepCase(topology.NewHypercube(8), true),
+		graphBuildCase(10),
 	)
 	return rep
 }

@@ -167,6 +167,12 @@ func (l *Lazy) Shard() *Shard {
 // Faults exposes the underlying fault set (read-only use).
 func (l *Lazy) Faults() *bitset.Set { return l.faults }
 
+// Behavior exposes the faulty-tester behaviour the syndrome was built
+// with (read-only use). Together with Faults it is the syndrome's whole
+// identity: two Lazies agreeing on both serve identical test tables,
+// which is what engine-level result caching keys on.
+func (l *Lazy) Behavior() Behavior { return l.behavior }
+
 // Shard is a per-worker view of a Lazy syndrome (see Sharder).
 type Shard struct {
 	parent *Lazy

@@ -18,6 +18,7 @@ func TestDeclaredCayleyStructuresVerify(t *testing.T) {
 		NewEnhancedHypercube(6, 2), NewEnhancedHypercube(6, 6), NewEnhancedHypercube(8, 4),
 		NewAugmentedCube(3), NewAugmentedCube(6),
 		NewKAryNCube(3, 3), NewKAryNCube(4, 3), NewKAryNCube(5, 2),
+		NewAugmentedKAryNCube(3, 2), NewAugmentedKAryNCube(4, 3), NewAugmentedKAryNCube(3, 4),
 	}
 	for _, nw := range declaring {
 		cs, ok := nw.(CayleyStructured)
@@ -51,7 +52,6 @@ func TestNonCayleyFamiliesDeclareNothing(t *testing.T) {
 		NewTwistedCube(5),
 		NewTwistedNCube(5),
 		NewShuffleCube(6),
-		NewAugmentedKAryNCube(3, 2),
 		NewStar(4),
 		NewPancake(4),
 		NewNKStar(4, 2),

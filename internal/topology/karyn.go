@@ -66,8 +66,9 @@ func (q *KAryNCube) Diagnosability() int { return 2 * q.n }
 
 // CayleyStructure implements CayleyStructured: Q^k_n is the Cayley
 // graph of Z_k^n with the ±1-per-digit generators. (The augmented
-// variant declares nothing: its run edges wrap each digit
-// independently, which no fixed id delta expresses.)
+// variant declares the general mixed-radix descriptor instead: its run
+// edges wrap each digit independently, which no fixed id delta — and
+// hence no AdditiveCayley — expresses.)
 func (q *KAryNCube) CayleyStructure() graph.CayleyDescriptor {
 	return graph.AdditiveCayley{K: q.k, Dims: q.n}
 }
@@ -180,4 +181,37 @@ func (a *AugmentedKAryNCube) Diagnosability() int { return 4*a.n - 2 }
 // C_k when m = 1, still connected with degree 2).
 func (a *AugmentedKAryNCube) Parts(minSize, minCount int) ([]Part, error) {
 	return karyParts(a.g, a.k, a.n, minSize, minCount)
+}
+
+// CayleyStructure implements CayleyStructured: AQ_{n,k} is the Cayley
+// graph of Z_k^n whose generators are the ±1 unit vectors (the torus
+// edges) plus the ± run vectors (1,…,1,0,…,0) over the i low digits for
+// i = 2..n. The run additions wrap every digit independently, so their
+// id-space deltas are node-dependent and only the mixed-radix
+// descriptor (with its per-borrow-pattern step compilation in the
+// engine) expresses them.
+func (a *AugmentedKAryNCube) CayleyStructure() graph.CayleyDescriptor {
+	radices := make([]int, a.n)
+	for d := range radices {
+		radices[d] = a.k
+	}
+	var gens [][]int
+	unit := func(d, q int) []int {
+		g := make([]int, a.n)
+		g[d] = q
+		return g
+	}
+	for d := 0; d < a.n; d++ {
+		gens = append(gens, unit(d, 1), unit(d, a.k-1))
+	}
+	for i := 2; i <= a.n; i++ {
+		up := make([]int, a.n)
+		down := make([]int, a.n)
+		for d := 0; d < i; d++ {
+			up[d] = 1
+			down[d] = a.k - 1
+		}
+		gens = append(gens, up, down)
+	}
+	return graph.MixedRadixCayley{Radices: radices, Gens: gens}
 }
