@@ -19,7 +19,9 @@
 // aggregate throughput (diagnoses/sec), result-cache hit rates (-cache)
 // and the per-worker trial distribution beside the per-syndrome
 // verdicts. -share-cert additionally groups syndromes by fault
-// hypothesis so each group's part certification runs once.
+// hypothesis so each group's part certification runs once, and
+// -share-final shares each group's behaviour-independent final-pass
+// prefix (see docs/runtime.md).
 package main
 
 import (
@@ -50,6 +52,7 @@ func main() {
 	trials := flag.Int("trials", 1, "number of syndromes to diagnose; > 1 serves them through a persistent campaign.Runtime")
 	cacheCap := flag.Int("cache", 0, "with -trials > 1: result-cache capacity (0 = off); repeated syndromes replay without diagnosis")
 	shareCert := flag.Bool("share-cert", false, "with -trials > 1: share part certification across syndromes of one fault hypothesis")
+	shareFinal := flag.Bool("share-final", false, "with -trials > 1: share the behaviour-independent final-pass prefix across syndromes of one fault hypothesis")
 	flag.Parse()
 
 	nw, err := topology.Parse(*netSpec)
@@ -114,7 +117,7 @@ func main() {
 		if *cacheCap > 0 {
 			opt.ResultCache = core.NewResultCache(*cacheCap)
 		}
-		runBatch(nw, behavior, makeFaults, *trials, *workers, opt, *shareCert)
+		runBatch(nw, behavior, makeFaults, *trials, *workers, opt, *shareCert, *shareFinal)
 		return
 	}
 
@@ -163,7 +166,7 @@ func main() {
 // network, diagnoses `trials` independent syndromes through the
 // runtime's worker pool and reports aggregate throughput, cache
 // effectiveness and the worker-pool trial distribution.
-func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(int) *bitset.Set, trials, workers int, opt core.Options, shareCert bool) {
+func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(int) *bitset.Set, trials, workers int, opt core.Options, shareCert, shareFinal bool) {
 	eng := core.NewEngine(nw)
 	if err := eng.PartsErr(); err != nil {
 		fmt.Fprintln(os.Stderr, "batch mode needs a Theorem 1 partition:", err)
@@ -181,11 +184,11 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(i
 		trials, faults[0].Count(), behavior.Name(), rt.Workers(), eng.KernelName())
 
 	start := time.Now()
-	results := rt.DiagnoseBatch(syns, core.BatchOptions{ShareCertification: shareCert, Options: opt})
+	results := rt.DiagnoseBatch(syns, core.BatchOptions{ShareCertification: shareCert, ShareFinalPrefix: shareFinal, Options: opt})
 	elapsed := time.Since(start)
 
 	exact, failed := 0, 0
-	var lookups int64
+	var lookups, sharedPrefix int64
 	for i, r := range results {
 		switch {
 		case r.Err != nil:
@@ -197,6 +200,7 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(i
 		default:
 			exact++
 			lookups += r.Stats.TotalLookups
+			sharedPrefix += r.Stats.SharedFinalLookups
 		}
 	}
 	perDiag := elapsed / time.Duration(trials)
@@ -204,6 +208,9 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(i
 		elapsed, perDiag, float64(trials)/elapsed.Seconds())
 	if exact > 0 {
 		fmt.Printf("lookups     avg %d per diagnosis\n", lookups/int64(exact))
+	}
+	if sharedPrefix > 0 {
+		fmt.Printf("shared      %d final-prefix look-ups adopted from group representatives\n", sharedPrefix)
 	}
 	if opt.ResultCache != nil {
 		cs := opt.ResultCache.Stats()

@@ -86,7 +86,8 @@ type (
 	// syndromes are served with Diagnose/DiagnoseBatch.
 	Engine = core.Engine
 	// BatchOptions tunes Engine.DiagnoseBatch (worker pool, persistent
-	// Pool, hypothesis-grouped shared certification).
+	// Pool, hypothesis-grouped shared certification and shared
+	// final-prefix growth — see docs/runtime.md).
 	BatchOptions = core.BatchOptions
 	// BatchResult is one syndrome's outcome in a DiagnoseBatch call.
 	BatchResult = core.BatchResult

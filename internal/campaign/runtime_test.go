@@ -145,3 +145,63 @@ func pointsEqual(a, b []Point) bool {
 	}
 	return true
 }
+
+// TestRuntimeDiagnoseBatchSharedFinalPrefix pins the grouped-batch
+// plumbing through the persistent pool: ShareCertification +
+// ShareFinalPrefix on a Runtime produce the same fault sets and shape
+// stats as the engine's transient pool, with members adopting a
+// shared final prefix and the group spending strictly fewer look-ups
+// than an unshared runtime batch.
+func TestRuntimeDiagnoseBatchSharedFinalPrefix(t *testing.T) {
+	nw := topology.NewHypercube(8)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	eng := core.NewEngine(nw)
+	rt := NewRuntime(eng, 3)
+	defer rt.Close()
+
+	F := syndrome.ClusterFaults(g, int32(g.N()-1), delta)
+	behaviors := syndrome.AllBehaviors(9)
+	makeSyns := func() []syndrome.Syndrome {
+		var syns []syndrome.Syndrome
+		for round := 0; round < 2; round++ {
+			for _, b := range behaviors {
+				syns = append(syns, syndrome.NewLazy(F, b))
+			}
+		}
+		return syns
+	}
+
+	opt := core.BatchOptions{ShareCertification: true, ShareFinalPrefix: true}
+	plainSyns := makeSyns()
+	plain := rt.DiagnoseBatch(plainSyns, core.BatchOptions{})
+	sharedSyns := makeSyns()
+	shared := rt.DiagnoseBatch(sharedSyns, opt)
+	transient := eng.DiagnoseBatch(makeSyns(), opt)
+
+	var plainLookups, sharedLookups int64
+	members := 0
+	for i := range shared {
+		if shared[i].Err != nil || plain[i].Err != nil || transient[i].Err != nil {
+			t.Fatalf("syndrome %d: %v / %v / %v", i, shared[i].Err, plain[i].Err, transient[i].Err)
+		}
+		if !shared[i].Faults.Equal(plain[i].Faults) || !shared[i].Faults.Equal(transient[i].Faults) {
+			t.Fatalf("syndrome %d: runtime grouped batch diverged", i)
+		}
+		if shared[i].Stats != transient[i].Stats {
+			t.Fatalf("syndrome %d: runtime stats %+v differ from transient pool %+v",
+				i, shared[i].Stats, transient[i].Stats)
+		}
+		plainLookups += plainSyns[i].(*syndrome.Lazy).Lookups()
+		sharedLookups += sharedSyns[i].(*syndrome.Lazy).Lookups()
+		if shared[i].Stats.SharedFinalLookups > 0 {
+			members++
+		}
+	}
+	if members == 0 {
+		t.Fatal("no member adopted a shared final prefix on the runtime pool")
+	}
+	if sharedLookups >= plainLookups {
+		t.Fatalf("grouped runtime batch consulted %d look-ups, unshared %d", sharedLookups, plainLookups)
+	}
+}

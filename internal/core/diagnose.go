@@ -86,6 +86,19 @@ type Options struct {
 	// syndrome — and the Stats record the shared verdict with
 	// CertLookups pinned to 0 (this syndrome spent none).
 	shared *sharedScan
+	// recordPrefix asks the final pass to record the group's shared
+	// final-prefix checkpoint (set by a grouped DiagnoseBatch on each
+	// group representative; see BatchOptions.ShareFinalPrefix and
+	// finalPrefix). Recording never changes the representative's own
+	// results or accounting.
+	recordPrefix *finalPrefix
+	// resumePrefix lets the final pass resume from a recorded
+	// checkpoint instead of regrowing the behaviour-independent prefix
+	// (set by a grouped DiagnoseBatch on group members). The member's
+	// FinalLookups then cover only its own consultations past the
+	// checkpoint; the adopted prefix is reported via the Stats
+	// SharedFinal* fields.
+	resumePrefix *finalPrefix
 }
 
 // sharedScan is the immutable part-certification verdict a grouped
@@ -108,6 +121,17 @@ type Stats struct {
 	CertLookups   int64 // syndrome look-ups spent certifying parts
 	FinalLookups  int64 // syndrome look-ups of the final pass
 	TotalLookups  int64 // all look-ups of this call
+
+	// SharedFinalRounds and SharedFinalLookups are non-zero only for
+	// members of a ShareFinalPrefix group: the growth rounds and
+	// syndrome look-ups of the adopted behaviour-independent prefix,
+	// which the group representative computed (and whose consultations
+	// the representative's Stats carry). For such members FinalLookups
+	// counts only the consultations past the checkpoint, so
+	// FinalLookups + SharedFinalLookups equals the free-function
+	// FinalLookups of the same syndrome.
+	SharedFinalRounds  int
+	SharedFinalLookups int64
 }
 
 // ErrNoHealthyPart means no candidate part certified as fault-free.
@@ -223,21 +247,39 @@ func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part,
 	beforeFinal := s.Lookups()
 	finalWorkers := ClampWorkers(opt.FinalWorkers)
 	var final *SetBuilderResult
+	var resumed *finalPrefix
 	if finalWorkers > 1 && g.N() >= parallelFinalMinNodes {
 		final = setBuilderParallelInto(sc, g, s, seed, delta, nil, finalWorkers)
 	} else if opt.fastFinal {
 		if lz, ok := s.(*syndrome.Lazy); ok {
+			// Checkpoint plumbing rides on the scratch so every final
+			// kernel (word-parallel drivers and the generic sweep) sees
+			// it without widening the kernel interface. Resume engages
+			// only when the checkpoint grew from this call's certified
+			// seed — with unshared certification a member's own scan is
+			// behaviour-independent under the grouping guards, so this
+			// guard only bites when those guarantees were broken.
+			if fp := opt.resumePrefix; fp != nil && fp.valid && fp.u0 == seed {
+				sc.prefixRes = fp
+				resumed = fp
+			}
+			sc.prefixRec = opt.recordPrefix
 			if opt.kernel != nil {
 				final = opt.kernel.run(sc, g, lz, seed, delta)
 			} else {
 				final = setBuilderLazyInto(sc, g, lz, seed, delta)
 			}
+			sc.prefixRec, sc.prefixRes = nil, nil
 		}
 	}
 	if final == nil {
 		final = SetBuilderInto(sc, g, s, seed, delta, nil)
 	}
 	stats.FinalLookups = s.Lookups() - beforeFinal
+	if resumed != nil {
+		stats.SharedFinalRounds = resumed.rounds
+		stats.SharedFinalLookups = resumed.lookups
+	}
 	stats.Rounds = final.Rounds
 	stats.HealthyCount = final.U.Count()
 

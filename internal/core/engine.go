@@ -218,10 +218,17 @@ func (e *Engine) DiagnoseOpts(s syndrome.Syndrome, opt Options) (*bitset.Set, *S
 		delta = opt.FaultBound
 	}
 	var lz *syndrome.Lazy
-	if opt.ResultCache != nil && opt.Parts == nil && opt.shared == nil {
-		// Grouped members skip the cache: their Stats deliberately
-		// carry shared-scan accounting (CertLookups 0), which must not
-		// be memoised as the hypothesis's canonical full-run Stats.
+	if opt.ResultCache != nil && opt.Parts == nil && opt.shared == nil &&
+		(opt.resumePrefix == nil || !opt.resumePrefix.valid) {
+		// Grouped members whose run will carry shared accounting
+		// (CertLookups 0 and/or suffix-only FinalLookups) skip the
+		// cache: those Stats must not be memoised as the hypothesis's
+		// canonical full-run Stats, and a hit would bypass the shared
+		// state they are supposed to adopt. A member whose group
+		// recorded no usable checkpoint runs fully canonically, so it
+		// still consults (and populates) the cache — otherwise a warm-
+		// cache representative hit (which records no checkpoint) would
+		// degrade every member of the group to a full diagnosis.
 		if l, ok := s.(*syndrome.Lazy); ok && cacheable(l) {
 			lz = l
 			if ent, hit := opt.ResultCache.lookup(l, delta, opt.Strategy); hit {
@@ -372,6 +379,26 @@ type BatchOptions struct {
 	// (non-lazy, StrategyPaper, caller-supplied Parts, hypotheses
 	// beyond the bound) are diagnosed individually within the batch.
 	ShareCertification bool
+	// ShareFinalPrefix additionally shares the behaviour-independent
+	// prefix of the final Set_Builder pass across each group: the
+	// representative's final pass records a checkpoint at the first
+	// round whose frontier would consult a comparison involving a
+	// hypothesised-faulty node, and every other member resumes from it,
+	// consulting the syndrome only past the checkpoint. While the
+	// frontier avoids F ∪ N(F) every consulted comparison has a healthy
+	// tester, parent and candidate, so those rounds' admissions, tree
+	// and look-up trace are identical under every behaviour — see
+	// finalPrefix for the full argument. Fault sets and the shape
+	// fields of Stats (Seed, Rounds, HealthyCount, FaultCount) stay
+	// bit-identical to individual calls; the accounting contract is
+	// that prefix look-ups are paid once by the representative and
+	// members report only their own suffix (FinalLookups), with the
+	// adopted prefix recorded in Stats.SharedFinalRounds /
+	// SharedFinalLookups. Grouping guards match ShareCertification;
+	// the flags compose but are independent — either may be set alone.
+	// FinalWorkers > 1 final passes (on graphs large enough to engage
+	// the parallel pass) record no checkpoint and members run in full.
+	ShareFinalPrefix bool
 	// Options applies to every diagnosis in the batch. Scratch is
 	// ignored (workers bind their own); Workers inside Options still
 	// selects parallel part certification per syndrome and composes
@@ -406,8 +433,8 @@ func (e *Engine) DiagnoseBatch(syndromes []syndrome.Syndrome, opt BatchOptions) 
 	if pool == nil {
 		pool = transientPool{e: e, workers: opt.Workers}
 	}
-	if opt.ShareCertification {
-		e.diagnoseGrouped(pool, syndromes, opt.Options, results)
+	if opt.ShareCertification || opt.ShareFinalPrefix {
+		e.diagnoseGrouped(pool, syndromes, opt, results)
 		return results
 	}
 	pool.RunScratch(len(syndromes), func(sc *Scratch, i int) {
@@ -416,13 +443,16 @@ func (e *Engine) DiagnoseBatch(syndromes []syndrome.Syndrome, opt BatchOptions) 
 	return results
 }
 
-// diagnoseGrouped implements BatchOptions.ShareCertification: phase A
-// diagnoses each fault hypothesis's first syndrome (and every
-// ungroupable one) in full, phase B re-runs only the final pass of the
+// diagnoseGrouped implements BatchOptions.ShareCertification and
+// BatchOptions.ShareFinalPrefix: phase A diagnoses each fault
+// hypothesis's first syndrome (and every ungroupable one) in full —
+// recording, when final-prefix sharing is on, the group's shared
+// final-prefix checkpoint as a side effect — and phase B re-runs the
 // remaining group members under the representative's certification
-// verdict. See the ShareCertification field for the soundness argument
-// and the accounting contract.
-func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, opt Options, results []BatchResult) {
+// verdict and/or resumed from its checkpoint. See the two BatchOptions
+// fields for the soundness arguments and the accounting contracts.
+func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, bopt BatchOptions, results []BatchResult) {
+	opt := bopt.Options
 	delta := e.delta
 	if opt.FaultBound > 0 && opt.FaultBound < delta {
 		delta = opt.FaultBound
@@ -432,6 +462,7 @@ func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, 
 	type group struct {
 		rep     int
 		members []int
+		fp      *finalPrefix
 	}
 	var phaseA []int // representatives and ungroupable syndromes
 	var groups []*group
@@ -460,14 +491,30 @@ func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, 
 		grp.members = append(grp.members, i)
 	}
 
+	// Arm final-prefix recording on every representative that actually
+	// has members to share with; singleton groups record nothing.
+	var recFor map[int]*finalPrefix
+	if bopt.ShareFinalPrefix {
+		recFor = make(map[int]*finalPrefix)
+		for _, grp := range groups {
+			if len(grp.members) > 0 {
+				grp.fp = &finalPrefix{}
+				recFor[grp.rep] = grp.fp
+			}
+		}
+	}
+
 	pool.RunScratch(len(phaseA), func(sc *Scratch, k int) {
 		i := phaseA[k]
-		results[i] = e.diagnoseOne(syndromes[i], opt, sc)
+		o := opt
+		o.recordPrefix = recFor[i]
+		results[i] = e.diagnoseOne(syndromes[i], o, sc)
 	})
 
 	type memberTask struct {
 		idx    int
 		shared *sharedScan
+		fp     *finalPrefix
 	}
 	var phaseB []memberTask
 	for _, grp := range groups {
@@ -481,17 +528,19 @@ func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, 
 		// exhausted the candidates (ErrNoHealthyPart); any other error
 		// happened before certification, so members diagnose in full
 		// and fail the same way the representative did.
-		if rep.Err == nil || errors.Is(rep.Err, ErrNoHealthyPart) || errors.Is(rep.Err, ErrTooManyFaults) {
+		if bopt.ShareCertification &&
+			(rep.Err == nil || errors.Is(rep.Err, ErrNoHealthyPart) || errors.Is(rep.Err, ErrTooManyFaults)) {
 			sh = &sharedScan{certified: rep.Stats.CertifiedPart, partsScanned: rep.Stats.PartsScanned}
 		}
 		for _, m := range grp.members {
-			phaseB = append(phaseB, memberTask{m, sh})
+			phaseB = append(phaseB, memberTask{m, sh, grp.fp})
 		}
 	}
 	pool.RunScratch(len(phaseB), func(sc *Scratch, k int) {
 		t := phaseB[k]
 		o := opt
 		o.shared = t.shared
+		o.resumePrefix = t.fp
 		results[t.idx] = e.diagnoseOne(syndromes[t.idx], o, sc)
 	})
 }

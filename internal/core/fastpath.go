@@ -39,41 +39,68 @@ func setBuilderLazyInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32,
 	sc.resetTree()
 	res := &sc.res
 	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
-	res.U.Add(int(u0))
 	start := l.Lookups()
-	uCount := 1
+	var frontier, next []int32
+	var uCount, contribCount int
 
-	// Build U_1 exactly as the reference loop: u0 tests unordered pairs
-	// of its neighbours; a 0 result certifies both participants at once.
-	adj := g.Neighbors(u0)
-	frontier := sc.frontier[:0]
-	next := sc.next[:0]
-	for i := 0; i < len(adj); i++ {
-		for j := i + 1; j < len(adj); j++ {
-			vi, vj := adj[i], adj[j]
-			if res.U.Contains(int(vi)) && res.U.Contains(int(vj)) {
-				continue
-			}
-			if l.Test(u0, vi, vj) == 0 {
-				for _, v := range [2]int32{vi, vj} {
-					if !res.U.Contains(int(v)) {
-						res.U.Add(int(v))
-						res.Parent[v] = u0
-						frontier = append(frontier, v)
-						uCount++
+	if fp := sc.prefixRes; fp != nil {
+		// Resume from the group's shared prefix: the behaviour-
+		// independent rounds were grown once by the representative (see
+		// finalPrefix); this member only consults the syndrome past the
+		// checkpoint, so res.Lookups comes out as the suffix count.
+		frontier = fp.loadInto(sc, res)
+		contribCount = fp.restoreContributors(res)
+		next = sc.next[:0]
+		uCount = fp.uCount
+		res.Rounds = fp.rounds
+		if contribCount > delta {
+			res.AllHealthy = true
+		}
+		if fp.complete {
+			sc.frontier, sc.next = frontier, next
+			res.Lookups = 0
+			return res
+		}
+	} else {
+		res.U.Add(int(u0))
+		uCount = 1
+		rec := sc.prefixRec
+		if rec != nil && !rec.begin(g, l.Faults(), u0) {
+			rec = nil // even the pair scan is hazardous: no shareable prefix
+			sc.prefixRec = nil
+		}
+
+		// Build U_1 exactly as the reference loop: u0 tests unordered pairs
+		// of its neighbours; a 0 result certifies both participants at once.
+		adj := g.Neighbors(u0)
+		frontier = sc.frontier[:0]
+		next = sc.next[:0]
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				vi, vj := adj[i], adj[j]
+				if res.U.Contains(int(vi)) && res.U.Contains(int(vj)) {
+					continue
+				}
+				if l.Test(u0, vi, vj) == 0 {
+					for _, v := range [2]int32{vi, vj} {
+						if !res.U.Contains(int(v)) {
+							res.U.Add(int(v))
+							res.Parent[v] = u0
+							frontier = append(frontier, v)
+							uCount++
+						}
 					}
 				}
 			}
 		}
-	}
-	contribCount := 0
-	if len(frontier) > 0 {
-		res.Contributors.Add(int(u0))
-		contribCount = 1
-		res.Rounds = 1
-	}
-	if contribCount > delta {
-		res.AllHealthy = true
+		if len(frontier) > 0 {
+			res.Contributors.Add(int(u0))
+			contribCount = 1
+			res.Rounds = 1
+		}
+		if contribCount > delta {
+			res.AllHealthy = true
+		}
 	}
 
 	n := g.N()
@@ -86,9 +113,17 @@ func setBuilderLazyInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32,
 	// only while the frontier is sorted. Round 2+ frontiers always are
 	// (Drain yields ascending); the U_1 frontier is sorted for a healthy
 	// seed but a faulty seed's arbitrary pair answers can scramble it —
-	// those rounds must take the order-preserving sweep.
+	// those rounds must take the order-preserving sweep. (A resumed
+	// frontier was recorded at a round boundary, hence sorted.)
 	sorted := slices.IsSorted(frontier)
 	for len(frontier) > 0 {
+		if rec := sc.prefixRec; rec != nil && rec.frontierHazardous(frontier) {
+			// The next round would consult a comparison involving a
+			// hypothesised-faulty node: this round boundary is the end
+			// of the behaviour-independent prefix.
+			rec.snapshot(res, frontier, uCount, res.Rounds, l.Lookups()-start)
+			sc.prefixRec = nil
+		}
 		admitted := 0
 		if !sorted || len(frontier) <= n-uCount {
 			// Sparse regime: the reference frontier sweep, devirtualised
@@ -182,5 +217,12 @@ func setBuilderLazyInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32,
 	}
 	sc.frontier, sc.next = frontier, next
 	res.Lookups = l.Lookups() - start
+	if rec := sc.prefixRec; rec != nil {
+		// The pass terminated without ever touching the hazard mask
+		// (e.g. the empty hypothesis): the whole result is behaviour-
+		// independent and members adopt it outright.
+		rec.snapshotComplete(res, uCount, res.Lookups)
+		sc.prefixRec = nil
+	}
 	return res
 }

@@ -40,6 +40,15 @@ type Scratch struct {
 	ns           []int32
 	faults       *bitset.Set
 	stats        Stats
+
+	// prefixRec / prefixRes carry a shared-final-prefix checkpoint
+	// (see finalPrefix) into the next final pass: prefixRec asks the
+	// pass to record the checkpoint at the behaviour-independence
+	// boundary, prefixRes asks it to resume from one. Both are set and
+	// cleared around the pass by diagnoseInto — they are per-call
+	// plumbing, not reusable scratch state.
+	prefixRec *finalPrefix
+	prefixRes *finalPrefix
 }
 
 // NewScratch returns a Scratch for graphs on n nodes. The mask and

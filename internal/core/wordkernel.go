@@ -71,37 +71,58 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 	sc.resetTree()
 	res := &sc.res
 	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
-	res.U.Add(int(u0))
 	start := l.Lookups()
 
-	// Build U_1 exactly as the reference loop: u0 tests unordered pairs
-	// of its neighbours; a 0 result certifies both participants at once.
-	adj := g.Neighbors(u0)
-	frontier := sc.frontier[:0]
-	next := sc.next[:0]
-	for i := 0; i < len(adj); i++ {
-		for j := i + 1; j < len(adj); j++ {
-			vi, vj := adj[i], adj[j]
-			if res.U.Contains(int(vi)) && res.U.Contains(int(vj)) {
-				continue
-			}
-			if l.Test(u0, vi, vj) == 0 {
-				for _, v := range [2]int32{vi, vj} {
-					if !res.U.Contains(int(v)) {
-						res.U.Add(int(v))
-						res.Parent[v] = u0
-						frontier = append(frontier, v)
+	var frontier, next []int32
+	var uCount int
+	if fp := sc.prefixRes; fp != nil {
+		// Resume from the group's shared prefix (see finalPrefix): the
+		// checkpoint was recorded at a round boundary, so the loaded
+		// frontier is sorted and the loop continues exactly where the
+		// representative's behaviour-independent rounds stopped. A
+		// complete checkpoint stores an empty frontier, so the loop is
+		// skipped and only the contributor reconstruction below runs.
+		frontier = fp.loadInto(sc, res)
+		next = sc.next[:0]
+		uCount = fp.uCount
+		res.Rounds = fp.rounds
+	} else {
+		res.U.Add(int(u0))
+		rec := sc.prefixRec
+		if rec != nil && !rec.begin(g, l.Faults(), u0) {
+			rec = nil // even the pair scan is hazardous: no shareable prefix
+			sc.prefixRec = nil
+		}
+
+		// Build U_1 exactly as the reference loop: u0 tests unordered pairs
+		// of its neighbours; a 0 result certifies both participants at once.
+		adj := g.Neighbors(u0)
+		frontier = sc.frontier[:0]
+		next = sc.next[:0]
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				vi, vj := adj[i], adj[j]
+				if res.U.Contains(int(vi)) && res.U.Contains(int(vj)) {
+					continue
+				}
+				if l.Test(u0, vi, vj) == 0 {
+					for _, v := range [2]int32{vi, vj} {
+						if !res.U.Contains(int(v)) {
+							res.U.Add(int(v))
+							res.Parent[v] = u0
+							frontier = append(frontier, v)
+						}
 					}
 				}
 			}
 		}
-	}
-	if len(frontier) > 0 {
-		res.Rounds = 1
+		if len(frontier) > 0 {
+			res.Rounds = 1
+		}
+		uCount = 1 + len(frontier)
 	}
 
 	n := g.N()
-	uCount := 1 + len(frontier)
 	added := sc.added
 	offs, tgts := g.Adjacency()
 	uw := res.U.Words()
@@ -120,6 +141,13 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 	// and the AllHealthy threshold is monotone, so the final count
 	// decides it — this drops a membership test from every admission.
 	for len(frontier) > 0 {
+		if rec := sc.prefixRec; rec != nil && rec.frontierHazardous(frontier) {
+			// End of the behaviour-independent prefix: the next round
+			// would consult a comparison involving a hypothesised-faulty
+			// node (see finalPrefix).
+			rec.snapshot(res, frontier, uCount, res.Rounds, l.Lookups()-start)
+			sc.prefixRec = nil
+		}
 		admitted := 0
 		if sorted && len(frontier) > threshold {
 			copy(pw, uw)
@@ -237,5 +265,11 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 	}
 	res.AllHealthy = res.Contributors.Count() > delta
 	res.Lookups = l.Lookups() - start
+	if rec := sc.prefixRec; rec != nil {
+		// Clean to termination: the whole result is behaviour-
+		// independent and members adopt it outright (see finalPrefix).
+		rec.snapshotComplete(res, uCount, res.Lookups)
+		sc.prefixRec = nil
+	}
 	return res
 }

@@ -71,6 +71,17 @@ type ReplayResult struct {
 // values even when they encode the same hypothesis (each is driven
 // concurrently during its wave and by one batch worker after).
 func (cs *CollectServer) Replay(syns []syndrome.Syndrome, cache *core.ResultCache) []ReplayResult {
+	return cs.ReplayBatch(syns, cache, core.BatchOptions{})
+}
+
+// ReplayBatch is Replay with explicit batch options for the central
+// diagnosis phase — the replay workload re-collects mostly unchanged
+// system states wave after wave, so hypothesis grouping
+// (BatchOptions.ShareCertification / ShareFinalPrefix) lets the centre
+// certify once and regrow the behaviour-independent final prefix once
+// per repeated hypothesis. opt.Pool and opt.Options.ResultCache are
+// superseded by the server's runtime and the cache argument.
+func (cs *CollectServer) ReplayBatch(syns []syndrome.Syndrome, cache *core.ResultCache, opt core.BatchOptions) []ReplayResult {
 	out := make([]ReplayResult, len(syns))
 	// Collected is the index list of waves that completed: a wave that
 	// exceeded the round budget has no centrally assembled syndrome, so
@@ -90,7 +101,8 @@ func (cs *CollectServer) Replay(syns []syndrome.Syndrome, cache *core.ResultCach
 			toDiagnose = append(toDiagnose, s)
 		}
 	}
-	batch := cs.rt.DiagnoseBatch(toDiagnose, core.BatchOptions{Options: core.Options{ResultCache: cache}})
+	opt.Options.ResultCache = cache
+	batch := cs.rt.DiagnoseBatch(toDiagnose, opt)
 	for k, r := range batch {
 		i := collected[k]
 		out[i].Faults = r.Faults

@@ -68,3 +68,61 @@ func TestCollectServerReplayMatchesOneShot(t *testing.T) {
 		t.Fatal("runtime served no diagnoses")
 	}
 }
+
+// TestCollectServerReplayBatchShared pins the grouped replay path:
+// ReplayBatch with hypothesis grouping (shared certification + shared
+// final prefix) returns the same fault sets as the plain Replay, with
+// the group members having shared a non-empty final prefix whenever
+// one was recordable, and strictly fewer total syndrome consultations.
+func TestCollectServerReplayBatchShared(t *testing.T) {
+	nw := topology.NewHypercube(7)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	parts, err := nw.Parts(delta+1, delta+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	F := syndrome.ClusterFaults(g, int32(g.N()-1), delta/2)
+	behaviors := syndrome.AllBehaviors(3)
+	makeSyns := func() []syndrome.Syndrome {
+		var syns []syndrome.Syndrome
+		for _, b := range behaviors {
+			syns = append(syns, syndrome.NewLazy(F, b))
+		}
+		return syns
+	}
+
+	cs := NewCollectServer(g, delta, parts, 2, 4*g.N())
+	defer cs.Close()
+
+	plainSyns := makeSyns()
+	plain := cs.Replay(plainSyns, nil)
+	sharedSyns := makeSyns()
+	shared := cs.ReplayBatch(sharedSyns, nil, core.BatchOptions{
+		ShareCertification: true, ShareFinalPrefix: true,
+	})
+	var plainLookups, sharedLookups int64
+	members := 0
+	for i := range shared {
+		if shared[i].Err != nil || plain[i].Err != nil {
+			t.Fatalf("wave %d: %v / %v", i, shared[i].Err, plain[i].Err)
+		}
+		if !shared[i].Faults.Equal(plain[i].Faults) {
+			t.Fatalf("wave %d: grouped replay diverged from plain replay", i)
+		}
+		if shared[i].Net != plain[i].Net {
+			t.Fatalf("wave %d: grouping must not change the network ledger", i)
+		}
+		plainLookups += plainSyns[i].(*syndrome.Lazy).Lookups()
+		sharedLookups += sharedSyns[i].(*syndrome.Lazy).Lookups()
+		if shared[i].Diag.SharedFinalLookups > 0 {
+			members++
+		}
+	}
+	if members == 0 {
+		t.Fatal("no replay member adopted a shared final prefix")
+	}
+	if sharedLookups >= plainLookups {
+		t.Fatalf("grouped replay consulted %d look-ups, plain %d", sharedLookups, plainLookups)
+	}
+}

@@ -387,6 +387,87 @@ func batchSharedCertCase(nw topology.Network, hyps int, share bool) Result {
 	})
 }
 
+// batchSharedFinalCase measures batch-aware final passes compounded
+// with shared certification: hypotheses replayed under several
+// adversaries with ShareCertification + ShareFinalPrefix grouping, so
+// each hypothesis pays one part scan and one behaviour-independent
+// final-prefix growth, and members only regrow the suffix past the
+// first fault-adjacent frontier. The fault sets cluster around far
+// nodes (BFS-last from the certified seed) — the repeated-hypothesis
+// serving workload this lever targets, where most growth rounds never
+// touch N(F). The `off` twin runs the identical batch unshared; the
+// ns/op gap is the headline and the lookups/op gap (group totals
+// strictly below unshared) is the deterministic gate.
+func batchSharedFinalCase(nw topology.Network, hyps int, share bool) Result {
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	eng := core.NewEngine(nw)
+	parts, err := eng.Parts()
+	if err != nil {
+		panic(err)
+	}
+	// Fault clusters centred on the nodes farthest (by BFS distance)
+	// from the first part's seed: maximally distant from where the
+	// final pass starts growing.
+	dist := g.BFSFrom(parts[0].Seed, nil)
+	centers := make([]int32, 0, hyps)
+	for want := int32(1 << 30); len(centers) < hyps; {
+		farD := int32(-1)
+		for _, d := range dist {
+			if d < want && d > farD {
+				farD = d
+			}
+		}
+		want = farD
+		for v := int32(0); int(v) < len(dist) && len(centers) < hyps; v++ {
+			if dist[v] == farD {
+				centers = append(centers, v)
+			}
+		}
+	}
+	faultSets := make([]*bitset.Set, hyps)
+	for d := range faultSets {
+		faultSets[d] = syndrome.ClusterFaults(g, centers[d], delta)
+	}
+	behaviors := []syndrome.Behavior{
+		syndrome.Mimic{}, syndrome.AllZero{}, syndrome.AllOne{}, syndrome.Inverted{},
+		syndrome.Random{Seed: 1}, syndrome.Random{Seed: 2}, syndrome.Random{Seed: 3}, syndrome.Random{Seed: 4},
+	}
+	total := hyps * len(behaviors)
+	name := fmt.Sprintf("batchsharedfinal%d/%s", total, nw.Name())
+	if !share {
+		name = fmt.Sprintf("batchsharedfinal%doff/%s", total, nw.Name())
+	}
+	opt := core.BatchOptions{ShareCertification: share, ShareFinalPrefix: share}
+	op := func() int64 {
+		syns := make([]syndrome.Syndrome, 0, total)
+		for _, F := range faultSets {
+			for _, b := range behaviors {
+				syns = append(syns, syndrome.NewLazy(F, b))
+			}
+		}
+		for i, r := range eng.DiagnoseBatch(syns, opt) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+			if !r.Faults.Equal(faultSets[i/len(behaviors)]) {
+				panic("misdiagnosis")
+			}
+		}
+		var lookups int64
+		for _, s := range syns {
+			lookups += s.Lookups()
+		}
+		return lookups
+	}
+	return run(name, op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
 // graphBuildCase measures CSR construction of Q_n via the Builder.
 func graphBuildCase(n int) Result {
 	return run(fmt.Sprintf("graphbuild/Q%d", n), nil, func(b *testing.B) {
@@ -470,6 +551,13 @@ func Suite() *Report {
 		batchDiagnoseCase(topology.NewAugmentedKAryNCube(4, 5), 64),
 		batchGenericCase(topology.NewAugmentedKAryNCube(4, 5), 64),
 	)
+	// PR 5: batch-aware final passes — repeated hypotheses share the
+	// behaviour-independent final-prefix growth on top of the shared
+	// part scan (8 hypotheses × 8 adversaries).
+	rep.Results = append(rep.Results,
+		batchSharedFinalCase(topology.NewHypercube(14), 8, true),
+		batchSharedFinalCase(topology.NewHypercube(14), 8, false),
+	)
 	return rep
 }
 
@@ -484,6 +572,7 @@ func QuickSuite() *Report {
 		setBuilderCase(topology.NewHypercube(10)),
 		engineDiagnoseCase(topology.NewHypercube(10)),
 		batchRepeatCase(topology.NewHypercube(10), 16, 4, true),
+		batchSharedFinalCase(topology.NewHypercube(10), 2, true),
 		campaignSweepCase(topology.NewHypercube(8), true),
 		graphBuildCase(10),
 	)

@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: build, vet, full test suite, the race
-# detector over the packages that exercise concurrency (parallel part
-# certification with sharded look-up counters, campaign sweeps), and
-# the perf-trajectory gate: every committed BENCH_<n>.json must not
-# regress lookups/op on any case shared with its predecessor (look-up
-# counts are deterministic; ns/op is reported but not gated).
+# Tier-1 verification gate: build, vet, full test suite (which includes
+# the differential, fuzz-seed-corpus and golden tiers — see
+# docs/testing.md), the race detector over the packages that exercise
+# concurrency (parallel part certification with sharded look-up
+# counters, campaign/distsim pools, graph probes), and the
+# perf-trajectory gate: every committed BENCH_<n>.json — BENCH_5 being
+# the latest — must not regress lookups/op on any case shared with its
+# predecessor (look-up counts are deterministic; ns/op is reported but
+# not gated).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/core/ ./internal/campaign/
+go test -race ./internal/core/ ./internal/campaign/ ./internal/distsim/ ./internal/graph/
 
 prev=""
 for f in $(ls BENCH_*.json 2>/dev/null | sort -V); do
