@@ -36,6 +36,7 @@ import (
 	"comparisondiag/internal/bitset"
 	"comparisondiag/internal/campaign"
 	"comparisondiag/internal/core"
+	"comparisondiag/internal/graph"
 	"comparisondiag/internal/syndrome"
 	"comparisondiag/internal/topology"
 )
@@ -53,11 +54,35 @@ func main() {
 	cacheCap := flag.Int("cache", 0, "with -trials > 1: result-cache capacity (0 = off); repeated syndromes replay without diagnosis")
 	shareCert := flag.Bool("share-cert", false, "with -trials > 1: share part certification across syndromes of one fault hypothesis")
 	shareFinal := flag.Bool("share-final", false, "with -trials > 1: share the behaviour-independent final-pass prefix across syndromes of one fault hypothesis")
+	cacheAdmission := flag.Bool("cache-admission", false, "with -cache: admit a result only on its second sighting (scan-resistant admission)")
+	churn := flag.Int("churn", 0, "remove this many random nodes and rebind the engine before diagnosing (degraded mode; routes through the engine even for one trial)")
 	flag.Parse()
+
+	// Reject nonsense before any work: a zero or negative trial count, a
+	// zero worker pool (0 workers can serve nothing; -1 means
+	// GOMAXPROCS), or a negative churn amount.
+	if *trials <= 0 {
+		fmt.Fprintf(os.Stderr, "usage: -trials must be >= 1, got %d\n", *trials)
+		os.Exit(2)
+	}
+	if *workers == 0 || *workers < -1 {
+		fmt.Fprintf(os.Stderr, "usage: -workers must be >= 1 or -1 for GOMAXPROCS, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *churn < 0 {
+		fmt.Fprintf(os.Stderr, "usage: -churn must be >= 0, got %d\n", *churn)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*pattern) {
+	case "random", "cluster", "neighborhood":
+	default:
+		fmt.Fprintf(os.Stderr, "usage: unknown pattern %q (want random|cluster|neighborhood)\n", *pattern)
+		os.Exit(2)
+	}
 
 	nw, err := topology.Parse(*netSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "usage: bad -net spec: %v\n", err)
 		os.Exit(2)
 	}
 	g := nw.Graph()
@@ -70,22 +95,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %d faults exceed δ = %d; diagnosis is not guaranteed\n", nFaults, delta)
 	}
 
-	// makeFaults builds trial i's fault set. Trial 0 reproduces the
-	// single-diagnosis placements exactly (cluster around node 0,
-	// neighbourhood of the middle node); later batch trials move the
-	// centre so every syndrome is a distinct case.
-	makeFaults := func(i int) *bitset.Set {
+	// makeFaults builds trial i's fault set on graph fg with n faults —
+	// parameterised because a churned engine serves a smaller graph
+	// under a smaller bound than the network it was bound to. Trial 0
+	// reproduces the single-diagnosis placements exactly (cluster around
+	// node 0, neighbourhood of the middle node); later batch trials move
+	// the centre so every syndrome is a distinct case.
+	makeFaults := func(fg *graph.Graph, n, i int) *bitset.Set {
 		switch strings.ToLower(*pattern) {
-		case "random":
-			return syndrome.RandomFaults(g.N(), nFaults, rand.New(rand.NewSource(*seed+int64(i))))
 		case "cluster":
-			return syndrome.ClusterFaults(g, int32(i%g.N()), nFaults)
+			return syndrome.ClusterFaults(fg, int32(i%fg.N()), n)
 		case "neighborhood":
-			return syndrome.NeighborhoodFaults(g, int32((g.N()/2+i)%g.N()), nFaults)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
-			os.Exit(2)
-			return nil
+			return syndrome.NeighborhoodFaults(fg, int32((fg.N()/2+i)%fg.N()), n)
+		default: // "random", validated above
+			return syndrome.RandomFaults(fg.N(), n, rand.New(rand.NewSource(*seed+int64(i))))
 		}
 	}
 
@@ -109,19 +132,19 @@ func main() {
 	fmt.Printf("network     %s: N=%d, M=%d, Δ=%d, κ=%d, δ=%d\n",
 		nw.Name(), g.N(), g.M(), g.MaxDegree(), nw.Connectivity(), delta)
 
-	if *trials > 1 {
+	if *trials > 1 || *churn > 0 {
 		opt := core.Options{FaultBound: *bound}
 		if *paper {
 			opt.Strategy = core.StrategyPaper
 		}
 		if *cacheCap > 0 {
-			opt.ResultCache = core.NewResultCache(*cacheCap)
+			opt.ResultCache = core.NewResultCacheWithAdmission(*cacheCap, *cacheAdmission)
 		}
-		runBatch(nw, behavior, makeFaults, *trials, *workers, opt, *shareCert, *shareFinal)
+		runBatch(nw, behavior, makeFaults, *trials, *workers, *churn, *seed, nFaults, opt, *shareCert, *shareFinal)
 		return
 	}
 
-	F := makeFaults(0)
+	F := makeFaults(g, nFaults, 0)
 	fmt.Printf("injected    %d faults (%s, %s testers): %v\n", F.Count(), *pattern, behavior.Name(), F)
 
 	opt := core.Options{Workers: *workers, FaultBound: *bound}
@@ -163,21 +186,56 @@ func main() {
 }
 
 // runBatch binds an Engine and a persistent campaign.Runtime to the
-// network, diagnoses `trials` independent syndromes through the
+// network, optionally churns the engine (remove nodes + incremental
+// rebind) first, diagnoses `trials` independent syndromes through the
 // runtime's worker pool and reports aggregate throughput, cache
-// effectiveness and the worker-pool trial distribution.
-func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(int) *bitset.Set, trials, workers int, opt core.Options, shareCert, shareFinal bool) {
+// effectiveness, degraded-mode status and the worker-pool trial
+// distribution.
+func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(*graph.Graph, int, int) *bitset.Set, trials, workers, churn int, seed int64, nFaults int, opt core.Options, shareCert, shareFinal bool) {
 	eng := core.NewEngine(nw)
 	if err := eng.PartsErr(); err != nil {
 		fmt.Fprintln(os.Stderr, "batch mode needs a Theorem 1 partition:", err)
 		os.Exit(1)
 	}
+	if churn > 0 {
+		g := eng.Graph()
+		if churn >= g.N() {
+			fmt.Fprintf(os.Stderr, "usage: -churn %d would remove the whole %d-node network\n", churn, g.N())
+			os.Exit(2)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		picked := make(map[int32]bool, churn)
+		gone := make([]int32, 0, churn)
+		for len(gone) < churn {
+			u := int32(rng.Intn(g.N()))
+			if !picked[u] {
+				picked[u] = true
+				gone = append(gone, u)
+			}
+		}
+		var caches []*core.ResultCache
+		if opt.ResultCache != nil {
+			caches = append(caches, opt.ResultCache)
+		}
+		rep, err := eng.Rebind(g.RemoveNodes(gone), caches...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rebind failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("churn       %s\n", rep)
+	}
 	rt := campaign.NewRuntime(eng, workers)
 	defer rt.Close()
+	g := eng.Graph()
+	delta := eng.Diagnosability()
+	if nFaults > delta {
+		fmt.Fprintf(os.Stderr, "warning: clamping %d faults to the engine's bound δ=%d\n", nFaults, delta)
+		nFaults = delta
+	}
 	syns := make([]syndrome.Syndrome, trials)
 	faults := make([]*bitset.Set, trials)
 	for i := range syns {
-		faults[i] = makeFaults(i)
+		faults[i] = makeFaults(g, nFaults, i)
 		syns[i] = syndrome.NewLazy(faults[i], behavior)
 	}
 	fmt.Printf("batch       %d syndromes, %d faults each (%s testers), %d workers, kernel=%s\n",
@@ -219,8 +277,12 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(i
 		if total > 0 {
 			rate = 100 * float64(cs.Hits) / float64(total)
 		}
-		fmt.Printf("cache       %d/%d hits (%.1f%%), %d entries (cap %d), %d evictions\n",
-			cs.Hits, total, rate, cs.Entries, cs.Capacity, cs.Evictions)
+		fmt.Printf("cache       %d/%d hits (%.1f%%), %d entries (cap %d), %d evictions, %d admission bypasses\n",
+			cs.Hits, total, rate, cs.Entries, cs.Capacity, cs.Evictions, cs.Bypassed)
+	}
+	if eng.Degraded() {
+		fmt.Printf("degraded    engine serves the surviving component under δ′=%d; results are stamped Stats.Degraded\n",
+			eng.Diagnosability())
 	}
 	rs := rt.Stats()
 	fmt.Printf("runtime     %d workers, %d jobs, trials/worker %v\n", rs.Workers, rs.Jobs, rs.Trials)

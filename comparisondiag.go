@@ -121,6 +121,30 @@ type (
 	CayleyStructured = topology.CayleyStructured
 )
 
+// Churn tolerance: incremental rebinding, degraded-mode diagnosis and
+// the distsim fault-injection harness (see docs/churn.md).
+type (
+	// GraphRemoval is the delta of Graph.RemoveNodes/RemoveEdges: the
+	// compacted surviving component plus the old↔new id maps.
+	GraphRemoval = graph.Removal
+	// RebindReport summarises one Engine.Rebind or Engine.Survivor
+	// derivation: node/edge losses, δ→δ′, partition survival, kernel
+	// fallback and cache remapping.
+	RebindReport = core.RebindReport
+	// FaultPlan is a deterministic, seedable network fault-injection
+	// schedule for the BSP simulator (drops, duplicates, delays, slow
+	// links, node crashes).
+	FaultPlan = distsim.FaultPlan
+	// SlowLink declares a fixed extra delay on one edge of a FaultPlan.
+	SlowLink = distsim.SlowLink
+	// Crash silences one node from a given round on.
+	Crash = distsim.Crash
+	// FaultStats counts a run's injected faults.
+	FaultStats = distsim.FaultStats
+	// FaultEvent is one injected fault in a run's replayable ledger.
+	FaultEvent = distsim.FaultEvent
+)
+
 // Faulty-tester behaviours (see syndrome.Behavior).
 type (
 	// AllZero vouches for everyone.
@@ -236,6 +260,10 @@ var (
 	// NewResultCache builds a bounded engine result cache (see
 	// docs/runtime.md).
 	NewResultCache = core.NewResultCache
+	// NewResultCacheWithAdmission is NewResultCache with an optional
+	// admit-on-second-sight admission policy (scan resistance; see
+	// docs/churn.md).
+	NewResultCacheWithAdmission = core.NewResultCacheWithAdmission
 	// ClampWorkers normalises a worker count against GOMAXPROCS.
 	ClampWorkers = core.ClampWorkers
 	// CertifyPart is the scan certificate for a partition cell.
@@ -327,4 +355,8 @@ var (
 	ErrNoHealthyPart = core.ErrNoHealthyPart
 	// ErrTooManyFaults: the diagnosis exceeded the fault bound.
 	ErrTooManyFaults = core.ErrTooManyFaults
+	// ErrNoSurvivingPartition: churn left no partition satisfying the
+	// Theorem 1 preconditions even at δ′ = 0; the rebound engine holds
+	// no parts and Diagnose calls report this (wrapped).
+	ErrNoSurvivingPartition = core.ErrNoSurvivingPartition
 )

@@ -42,16 +42,29 @@ type ResultCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	bypassed  int64
+
+	// admitOnSecond gates admission on a hypothesis having been seen
+	// before: the first sighting of a key records it in seen and skips
+	// the insert, so one-shot hypotheses never displace entries that
+	// are actually re-queried. seen is bounded (cleared wholesale past
+	// seenBound) and keyed by the entry hash — a collision can at worst
+	// admit an entry one sighting early, never corrupt a result.
+	admitOnSecond bool
+	seen          map[uint64]struct{}
 }
 
 // cacheEntry is one memoised diagnosis. All fields are immutable after
 // insertion, so reads may continue after the cache lock is released.
+// Rebind replaces entries rather than mutating them for the same
+// reason.
 type cacheEntry struct {
 	hash     uint64
 	faults   *bitset.Set // key: cloned fault hypothesis
 	behavior syndrome.Behavior
 	delta    int
 	strategy Strategy
+	epoch    uint64 // engine binding epoch the entry was produced under
 
 	resFaults *bitset.Set // nil when the diagnosis errored
 	stats     Stats
@@ -63,23 +76,50 @@ type cacheEntry struct {
 const DefaultCacheCapacity = 1024
 
 // NewResultCache returns an empty cache holding at most capacity
-// diagnosis results (≤ 0 means DefaultCacheCapacity).
+// diagnosis results (≤ 0 means DefaultCacheCapacity). Every completed
+// diagnosis is admitted immediately.
 func NewResultCache(capacity int) *ResultCache {
+	return NewResultCacheWithAdmission(capacity, false)
+}
+
+// NewResultCacheWithAdmission is NewResultCache with an explicit
+// admission policy. With admitOnSecond set, a fault hypothesis is only
+// cached on its second sighting: the first diagnosis of a key records
+// the key and bypasses the insert (counted in CacheStats.Bypassed), so
+// workloads dominated by one-shot hypotheses stop churning the LRU
+// list with entries that will never be hit again. Lookups are
+// unaffected — an admitted entry serves hits exactly as under the
+// default policy.
+func NewResultCacheWithAdmission(capacity int, admitOnSecond bool) *ResultCache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &ResultCache{
-		capacity: capacity,
-		ll:       list.New(),
-		byHash:   make(map[uint64][]*list.Element),
+	c := &ResultCache{
+		capacity:      capacity,
+		ll:            list.New(),
+		byHash:        make(map[uint64][]*list.Element),
+		admitOnSecond: admitOnSecond,
 	}
+	if admitOnSecond {
+		c.seen = make(map[uint64]struct{})
+	}
+	return c
 }
+
+// seenBound caps the admission-policy sighting set at a multiple of the
+// cache capacity; past it the set is cleared wholesale (an O(1) reset
+// beats tracking per-key recency for what is only a heuristic).
+func (c *ResultCache) seenBound() int { return 8 * c.capacity }
 
 // CacheStats is a point-in-time observability snapshot of a
 // ResultCache.
 type CacheStats struct {
 	Hits, Misses, Evictions int64
-	Entries, Capacity       int
+	// Bypassed counts completed diagnoses the admission policy declined
+	// to cache (first sightings under admit-on-second-sight); always 0
+	// under the default admit-everything policy.
+	Bypassed          int64
+	Entries, Capacity int
 }
 
 // Stats returns the cache's counters. Safe for concurrent use.
@@ -88,7 +128,8 @@ func (c *ResultCache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Entries: c.ll.Len(), Capacity: c.capacity,
+		Bypassed: c.bypassed,
+		Entries:  c.ll.Len(), Capacity: c.capacity,
 	}
 }
 
@@ -146,16 +187,19 @@ func cacheHash(faults *bitset.Set, behavior syndrome.Behavior, delta int, strat 
 }
 
 // lookup returns the memoised entry for the syndrome under the given
-// effective fault bound and strategy, promoting it to most-recently
-// used. The returned entry is immutable; callers copy out of it.
-func (c *ResultCache) lookup(lz *syndrome.Lazy, delta int, strat Strategy) (*cacheEntry, bool) {
+// effective fault bound, strategy and engine binding epoch, promoting
+// it to most-recently used. The epoch keys entries to one binding
+// generation, so a diagnosis racing an Engine.Rebind can neither serve
+// nor be served by results from the other side of the churn. The
+// returned entry is immutable; callers copy out of it.
+func (c *ResultCache) lookup(lz *syndrome.Lazy, delta int, strat Strategy, epoch uint64) (*cacheEntry, bool) {
 	b := lz.Behavior()
 	h := cacheHash(lz.Faults(), b, delta, strat)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, el := range c.byHash[h] {
 		e := el.Value.(*cacheEntry)
-		if e.delta == delta && e.strategy == strat && e.behavior == b && e.faults.Equal(lz.Faults()) {
+		if e.delta == delta && e.strategy == strat && e.epoch == epoch && e.behavior == b && e.faults.Equal(lz.Faults()) {
 			c.ll.MoveToFront(el)
 			c.hits++
 			return e, true
@@ -168,8 +212,10 @@ func (c *ResultCache) lookup(lz *syndrome.Lazy, delta int, strat Strategy) (*cac
 // insert memoises one diagnosis outcome, cloning the key and result so
 // the entry shares no storage with the caller. A concurrent duplicate
 // (two callers missing on the same key and both diagnosing) keeps the
-// first entry; the outcomes are identical by construction.
-func (c *ResultCache) insert(lz *syndrome.Lazy, delta int, strat Strategy, faults *bitset.Set, stats *Stats, err error) {
+// first entry; the outcomes are identical by construction. Under
+// admit-on-second-sight the first sighting of a key only records it
+// and bypasses the insert.
+func (c *ResultCache) insert(lz *syndrome.Lazy, delta int, strat Strategy, epoch uint64, faults *bitset.Set, stats *Stats, err error) {
 	b := lz.Behavior()
 	h := cacheHash(lz.Faults(), b, delta, strat)
 	e := &cacheEntry{
@@ -178,6 +224,7 @@ func (c *ResultCache) insert(lz *syndrome.Lazy, delta int, strat Strategy, fault
 		behavior: b,
 		delta:    delta,
 		strategy: strat,
+		epoch:    epoch,
 		err:      err,
 	}
 	if faults != nil {
@@ -188,9 +235,19 @@ func (c *ResultCache) insert(lz *syndrome.Lazy, delta int, strat Strategy, fault
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.admitOnSecond {
+		if _, ok := c.seen[h]; !ok {
+			if len(c.seen) >= c.seenBound() {
+				clear(c.seen)
+			}
+			c.seen[h] = struct{}{}
+			c.bypassed++
+			return
+		}
+	}
 	for _, el := range c.byHash[h] {
 		old := el.Value.(*cacheEntry)
-		if old.delta == delta && old.strategy == strat && old.behavior == b && old.faults.Equal(e.faults) {
+		if old.delta == delta && old.strategy == strat && old.epoch == epoch && old.behavior == b && old.faults.Equal(e.faults) {
 			return
 		}
 	}
@@ -198,6 +255,97 @@ func (c *ResultCache) insert(lz *syndrome.Lazy, delta int, strat Strategy, fault
 	for c.ll.Len() > c.capacity {
 		c.evict(c.ll.Back())
 	}
+}
+
+// Rebind rewrites the cache for an engine rebound across a graph
+// removal (normally invoked through Engine.Rebind, which passes the
+// right arguments). Entries that cannot survive the churn are flushed:
+// any entry touching a removed id (in its key hypothesis, its result
+// fault set, or its recorded seed), any errored or bound-tightened
+// entry, and any entry whose hypothesis exceeds the degraded bound.
+// The rest are replaced — never mutated, since hits read entries after
+// the lock is released — by remapped clones in new-id space, keyed to
+// the new epoch and bound: their fault sets are exactly what a fresh
+// degraded diagnosis of the same hypothesis would report (Theorem 1
+// makes the result a pure function of the hypothesis while it respects
+// the bound). The remapped Stats keep the populating run's cost
+// profile (look-up counts, parts scanned) from before the churn, with
+// Delta/Degraded/EffectiveDelta rewritten to the degraded binding;
+// LRU order and the admission sighting set are reset wholesale.
+func (c *ResultCache) Rebind(oldToNew []int32, newN, oldDelta, newDelta int, epoch uint64) (flushed, kept int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oldLL := c.ll
+	c.ll = list.New()
+	c.byHash = make(map[uint64][]*list.Element)
+	if c.seen != nil {
+		clear(c.seen)
+	}
+	for el := oldLL.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		ne, ok := remapEntry(e, oldToNew, newN, oldDelta, newDelta, epoch)
+		if !ok {
+			flushed++
+			continue
+		}
+		c.byHash[ne.hash] = append(c.byHash[ne.hash], c.ll.PushBack(ne))
+		kept++
+	}
+	return flushed, kept
+}
+
+// remapEntry builds the post-churn replacement for one entry, or
+// reports that it must be flushed.
+func remapEntry(e *cacheEntry, oldToNew []int32, newN, oldDelta, newDelta int, epoch uint64) (*cacheEntry, bool) {
+	if e.err != nil || e.delta != oldDelta || e.resFaults == nil {
+		return nil, false
+	}
+	if int(e.stats.Seed) >= len(oldToNew) || oldToNew[e.stats.Seed] < 0 {
+		return nil, false
+	}
+	if e.faults.Count() > newDelta {
+		return nil, false
+	}
+	key, ok := remapSet(e.faults, oldToNew, newN)
+	if !ok {
+		return nil, false
+	}
+	res, ok := remapSet(e.resFaults, oldToNew, newN)
+	if !ok {
+		return nil, false
+	}
+	st := e.stats
+	st.Seed = oldToNew[e.stats.Seed]
+	st.Delta = newDelta
+	st.Degraded = true
+	st.EffectiveDelta = newDelta
+	return &cacheEntry{
+		hash:      cacheHash(key, e.behavior, newDelta, e.strategy),
+		faults:    key,
+		behavior:  e.behavior,
+		delta:     newDelta,
+		strategy:  e.strategy,
+		epoch:     epoch,
+		resFaults: res,
+		stats:     st,
+		err:       nil,
+	}, true
+}
+
+// remapSet maps a bitset through the removal's id map; ok is false when
+// any member was removed.
+func remapSet(s *bitset.Set, oldToNew []int32, newN int) (*bitset.Set, bool) {
+	out := bitset.New(newN)
+	ok := true
+	s.ForEach(func(i int) bool {
+		if i >= len(oldToNew) || oldToNew[i] < 0 {
+			ok = false
+			return false
+		}
+		out.Add(int(oldToNew[i]))
+		return true
+	})
+	return out, ok
 }
 
 // evict removes one element (called with the lock held).

@@ -132,6 +132,18 @@ type Stats struct {
 	// FinalLookups of the same syndrome.
 	SharedFinalRounds  int
 	SharedFinalLookups int64
+
+	// Degraded marks a diagnosis served by a churn-degraded engine
+	// (one that went through Engine.Rebind or was created by
+	// Engine.Survivor): the result is still an exact Theorem 1
+	// diagnosis, but of the surviving component under the degraded
+	// fault bound EffectiveDelta rather than the originally bound
+	// network under δ. Both fields stay zero on every non-degraded
+	// path — the free functions and freshly bound engines — so
+	// whole-struct Stats comparisons against the reference path remain
+	// valid there.
+	Degraded       bool
+	EffectiveDelta int
 }
 
 // ErrNoHealthyPart means no candidate part certified as fault-free.

@@ -31,25 +31,60 @@ import (
 // be called from many goroutines at once, as long as each individual
 // Syndrome still follows its own concurrency contract (a *syndrome.Lazy
 // belongs to one call at a time; see syndrome.Syndrome).
+//
+// An Engine is also churn-tolerant: all rebindable state lives in one
+// immutable binding snapshot behind an atomic pointer, and Rebind swaps
+// it for a degraded binding derived from a graph.Removal. Every call
+// loads exactly one snapshot up front, so diagnoses racing a Rebind see
+// either the old world or the new one, never a mixture.
 type Engine struct {
+	name string
+	bnd  atomic.Pointer[binding]
+
+	// mu serialises Rebind/BindCayley against each other and guards the
+	// lazily built tightened-partition maps of whichever binding is
+	// being extended.
+	mu sync.Mutex
+
+	pool sync.Pool // *Scratch sized for the current binding's graph
+}
+
+// binding is the engine's rebindable state: everything derived from the
+// (current) graph. All fields are immutable after publication except the
+// tight/tightErr maps, which grow lazily under Engine.mu.
+type binding struct {
 	nw    topology.Network // nil for graph-bound engines
-	name  string
 	g     *graph.Graph
 	delta int
 
-	parts    []topology.Part // default δ partition; nil iff partsErr != nil
-	partsErr error
+	// baseDelta is the δ of the original bind; connBudget is the
+	// engine's remaining connectivity lower-bound budget (κ at bind
+	// time, decremented by every removal — see deriveBinding).
+	baseDelta  int
+	connBudget int
 
-	mu       sync.Mutex
-	tight    map[int][]topology.Part // FaultBound-tightened partitions
-	tightErr map[int]error
+	parts    []topology.Part // default partition for delta; nil iff partsErr != nil
+	partsErr error
 
 	// kernel is the specialised final-pass kernel bound from the
 	// network's declared Cayley structure (or from-scratch detection);
 	// nil routes the final pass through the generic adaptive kernel.
+	// desc is the verified descriptor the kernel was bound from, kept so
+	// a rebind can re-verify it against the surviving component.
 	kernel finalKernel
+	desc   graph.CayleyDescriptor
 
-	pool sync.Pool // *Scratch sized for g
+	// degraded marks a binding produced by churn (Rebind/Survivor):
+	// diagnoses are stamped Stats.Degraded with EffectiveDelta = delta.
+	degraded bool
+
+	// epoch counts rebinds. ResultCache entries are keyed on it, so an
+	// in-flight diagnosis racing a Rebind can never publish a pre-churn
+	// result where a post-churn lookup would find it.
+	epoch uint64
+
+	tight    map[int][]topology.Part // FaultBound-tightened partitions
+	tightErr map[int]error
 }
 
 // NewEngine binds an engine to the network, eagerly building the
@@ -59,14 +94,17 @@ type Engine struct {
 // callers can route to DiagnoseWithVerification once instead of
 // handling errors per syndrome.
 func NewEngine(nw topology.Network) *Engine {
-	e := &Engine{
-		nw:    nw,
-		name:  nw.Name(),
-		g:     nw.Graph(),
-		delta: nw.Diagnosability(),
+	b := &binding{
+		nw:         nw,
+		g:          nw.Graph(),
+		delta:      nw.Diagnosability(),
+		connBudget: nw.Connectivity(),
 	}
-	e.parts, e.partsErr = nw.Parts(e.delta+1, e.delta+1)
-	e.kernel = bindStructure(nw, e.g)
+	b.baseDelta = b.delta
+	b.parts, b.partsErr = nw.Parts(b.delta+1, b.delta+1)
+	b.kernel, b.desc = bindStructure(nw, b.g)
+	e := &Engine{name: nw.Name()}
+	e.bnd.Store(b)
 	return e
 }
 
@@ -75,21 +113,30 @@ func NewEngine(nw topology.Network) *Engine {
 // graph.VerifyCayley, so a buggy declaration degrades to the generic
 // kernel instead of corrupting results), then the from-scratch XOR
 // probe for networks that declare nothing. Both paths are O(m) and run
-// once per engine.
-func bindStructure(nw topology.Network, g *graph.Graph) finalKernel {
+// once per engine. The verified descriptor is returned alongside the
+// kernel so a later Rebind can re-verify it on the surviving component.
+func bindStructure(nw topology.Network, g *graph.Graph) (finalKernel, graph.CayleyDescriptor) {
 	if cs, ok := nw.(topology.CayleyStructured); ok {
 		if desc := cs.CayleyStructure(); desc != nil && graph.VerifyCayley(g, desc) == nil {
 			// A verified declaration is the whole truth about the
 			// adjacency; when no kernel covers it (e.g. below the
 			// 64-node floor), re-probing from scratch could only
 			// rediscover the same structure.
-			return bindFinalKernel(desc, g)
+			return bindFinalKernel(desc, g), desc
 		}
 	}
 	if desc, ok := graph.DetectXORCayley(g); ok {
-		return bindFinalKernel(desc, g)
+		return bindFinalKernel(desc, g), desc
 	}
-	return nil
+	return nil, nil
+}
+
+// kernelName is the observability tag for a (possibly nil) kernel.
+func kernelName(k finalKernel) string {
+	if k == nil {
+		return "generic"
+	}
+	return k.Name()
 }
 
 // KernelName reports the bound final-pass kernel — "xor-cayley",
@@ -97,12 +144,7 @@ func bindStructure(nw topology.Network, g *graph.Graph) finalKernel {
 // "additive-rotate[mixed-radix]", or "generic" when no structure
 // bound. Observability only: all kernels are defined to be result- and
 // look-up-identical.
-func (e *Engine) KernelName() string {
-	if e.kernel == nil {
-		return "generic"
-	}
-	return e.kernel.Name()
-}
+func (e *Engine) KernelName() string { return kernelName(e.bnd.Load().kernel) }
 
 // BindCayley routes the final pass of a graph-bound engine through a
 // structure kernel: the descriptor is first verified against the
@@ -110,13 +152,20 @@ func (e *Engine) KernelName() string {
 // error and changes nothing), then offered to the kernel registry. A
 // nil return with KernelName() still "generic" means the descriptor was
 // genuine but no kernel covers it (e.g. below the 64-node word floor).
-// Call before the engine starts serving; it is not synchronised with
-// concurrent Diagnose calls.
+// The binding swap is atomic (diagnoses racing the call see the old or
+// the new kernel, both correct), but callers should still bind before
+// the engine starts serving.
 func (e *Engine) BindCayley(desc graph.CayleyDescriptor) error {
-	if err := graph.VerifyCayley(e.g, desc); err != nil {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.bnd.Load()
+	if err := graph.VerifyCayley(b.g, desc); err != nil {
 		return err
 	}
-	e.kernel = bindFinalKernel(desc, e.g)
+	nb := *b
+	nb.kernel = bindFinalKernel(desc, b.g)
+	nb.desc = desc
+	e.bnd.Store(&nb)
 	return nil
 }
 
@@ -129,26 +178,41 @@ func (e *Engine) BindCayley(desc graph.CayleyDescriptor) error {
 // that know their graph's algebraic structure can opt in afterwards
 // with BindCayley, which verifies the claim before trusting it.
 func NewGraphEngine(g *graph.Graph, delta int, parts []topology.Part) *Engine {
-	return &Engine{name: "graph", g: g, delta: delta, parts: parts}
+	e := &Engine{name: "graph"}
+	e.bnd.Store(&binding{g: g, delta: delta, baseDelta: delta, connBudget: delta, parts: parts})
+	return e
 }
 
-// Graph returns the bound graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the bound graph (the surviving component after a
+// Rebind).
+func (e *Engine) Graph() *graph.Graph { return e.bnd.Load().g }
 
 // Network returns the bound network, or nil for graph-bound engines.
-func (e *Engine) Network() topology.Network { return e.nw }
+// After a Rebind the network still identifies the original topology the
+// engine was bound to, even though the served graph is its surviving
+// component.
+func (e *Engine) Network() topology.Network { return e.bnd.Load().nw }
 
-// Diagnosability returns the fault bound δ the engine was bound with.
-func (e *Engine) Diagnosability() int { return e.delta }
+// Diagnosability returns the fault bound the engine currently serves: δ
+// as bound, or the degraded δ′ after a Rebind.
+func (e *Engine) Diagnosability() int { return e.bnd.Load().delta }
+
+// Degraded reports whether the engine serves a churn-degraded binding
+// (it went through Rebind, or was created by Survivor). Degraded
+// engines stamp Stats.Degraded/EffectiveDelta on every diagnosis.
+func (e *Engine) Degraded() bool { return e.bnd.Load().degraded }
 
 // Parts returns the precomputed default partition (or the recorded
 // construction error).
-func (e *Engine) Parts() ([]topology.Part, error) { return e.parts, e.partsErr }
+func (e *Engine) Parts() ([]topology.Part, error) {
+	b := e.bnd.Load()
+	return b.parts, b.partsErr
+}
 
-// PartsErr reports whether the network admitted a Theorem 1 partition
-// at bind time; non-nil means every Diagnose call will fail the same
-// way and the caller should use DiagnoseWithVerification.
-func (e *Engine) PartsErr() error { return e.partsErr }
+// PartsErr reports whether the engine holds a valid Theorem 1 partition;
+// non-nil means every Diagnose call will fail the same way and the
+// caller should use DiagnoseWithVerification.
+func (e *Engine) PartsErr() error { return e.bnd.Load().partsErr }
 
 // partsFor returns a partition valid for the given fault bound. The
 // default bound returns the bind-time partition without locking (the
@@ -156,21 +220,25 @@ func (e *Engine) PartsErr() error { return e.partsErr }
 // value and cached — successes and failures alike, so the engine
 // returns exactly what the free DiagnoseOpts would have (same parts or
 // the same construction error), preserving the documented equivalence.
-func (e *Engine) partsFor(bound int) ([]topology.Part, error) {
-	if bound >= e.delta || e.nw == nil {
-		return e.parts, e.partsErr
+// Degraded bindings always serve their δ′ partition: the network's
+// partition generator describes the pre-churn graph, and the δ′ parts
+// remain valid for every tighter bound (sizes and count only need to
+// reach bound+1 ≤ δ′+1).
+func (e *Engine) partsFor(b *binding, bound int) ([]topology.Part, error) {
+	if bound >= b.delta || b.nw == nil || b.degraded {
+		return b.parts, b.partsErr
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if p, ok := e.tight[bound]; ok {
-		return p, e.tightErr[bound]
+	if p, ok := b.tight[bound]; ok {
+		return p, b.tightErr[bound]
 	}
-	p, err := e.nw.Parts(bound+1, bound+1)
-	if e.tight == nil {
-		e.tight = make(map[int][]topology.Part)
-		e.tightErr = make(map[int]error)
+	p, err := b.nw.Parts(bound+1, bound+1)
+	if b.tight == nil {
+		b.tight = make(map[int][]topology.Part)
+		b.tightErr = make(map[int]error)
 	}
-	e.tight[bound], e.tightErr[bound] = p, err
+	b.tight[bound], b.tightErr[bound] = p, err
 	return p, err
 }
 
@@ -178,14 +246,16 @@ func (e *Engine) partsFor(bound int) ([]topology.Part, error) {
 // from the engine's own pool. Callers that diagnose in a loop (one
 // worker, many syndromes) should acquire once, pass it via
 // Options.Scratch, and release when done; ReleaseScratch returns it to
-// the pool.
+// the pool. Scratches survive a Rebind: they resize lazily to whichever
+// graph the next call serves.
 func (e *Engine) AcquireScratch() *Scratch {
+	n := e.bnd.Load().g.N()
 	if v := e.pool.Get(); v != nil {
 		sc := v.(*Scratch)
-		sc.ensure(e.g.N())
+		sc.ensure(n)
 		return sc
 	}
-	return NewScratch(e.g.N())
+	return NewScratch(n)
 }
 
 // ReleaseScratch returns a scratch obtained from AcquireScratch to the
@@ -213,7 +283,12 @@ func (e *Engine) Diagnose(s syndrome.Syndrome) (*bitset.Set, *Stats, error) {
 // bound and strategy is served from the cache — identical results,
 // zero syndrome consultations; misses populate the cache.
 func (e *Engine) DiagnoseOpts(s syndrome.Syndrome, opt Options) (*bitset.Set, *Stats, error) {
-	delta := e.delta
+	return e.diagnose(e.bnd.Load(), s, opt)
+}
+
+// diagnose runs one call against a fixed binding snapshot.
+func (e *Engine) diagnose(b *binding, s syndrome.Syndrome, opt Options) (*bitset.Set, *Stats, error) {
+	delta := b.delta
 	if opt.FaultBound > 0 && opt.FaultBound < delta {
 		delta = opt.FaultBound
 	}
@@ -231,36 +306,41 @@ func (e *Engine) DiagnoseOpts(s syndrome.Syndrome, opt Options) (*bitset.Set, *S
 		// degrade every member of the group to a full diagnosis.
 		if l, ok := s.(*syndrome.Lazy); ok && cacheable(l) {
 			lz = l
-			if ent, hit := opt.ResultCache.lookup(l, delta, opt.Strategy); hit {
-				return e.serveCached(ent, opt.Scratch)
+			if ent, hit := opt.ResultCache.lookup(l, delta, opt.Strategy, b.epoch); hit {
+				return e.serveCached(b, ent, opt.Scratch)
 			}
 		}
 	}
 	parts := opt.Parts
 	if parts == nil {
 		var err error
-		parts, err = e.partsFor(delta)
+		parts, err = e.partsFor(b, delta)
 		if err != nil {
 			return nil, nil, fmt.Errorf("diagnosing %s: %w", e.name, err)
 		}
 	}
 	opt.fastFinal = true
 	if !opt.GenericFinal {
-		opt.kernel = e.kernel
+		opt.kernel = b.kernel
 	}
 	var faults *bitset.Set
 	var stats *Stats
 	var err error
 	if opt.Scratch != nil {
-		faults, stats, err = diagnoseInto(opt.Scratch, e.g, delta, parts, s, opt)
+		faults, stats, err = diagnoseInto(opt.Scratch, b.g, delta, parts, s, opt)
 	} else {
 		sc := e.AcquireScratch()
-		faults, stats, err = diagnoseInto(sc, e.g, delta, parts, s, opt)
+		sc.ensure(b.g.N()) // the pool may hand back a scratch sized for a newer binding
+		faults, stats, err = diagnoseInto(sc, b.g, delta, parts, s, opt)
 		faults, stats = cloneResults(faults, stats)
 		e.ReleaseScratch(sc)
 	}
+	if stats != nil && b.degraded {
+		stats.Degraded = true
+		stats.EffectiveDelta = b.delta
+	}
 	if lz != nil && stats != nil {
-		opt.ResultCache.insert(lz, delta, opt.Strategy, faults, stats, err)
+		opt.ResultCache.insert(lz, delta, opt.Strategy, b.epoch, faults, stats, err)
 	}
 	return faults, stats, err
 }
@@ -269,9 +349,9 @@ func (e *Engine) DiagnoseOpts(s syndrome.Syndrome, opt Options) (*bitset.Set, *S
 // caller's scratch (preserving the Options.Scratch view contract) when
 // one is supplied, as caller-owned clones otherwise. Cached state is
 // never aliased.
-func (e *Engine) serveCached(ent *cacheEntry, sc *Scratch) (*bitset.Set, *Stats, error) {
+func (e *Engine) serveCached(b *binding, ent *cacheEntry, sc *Scratch) (*bitset.Set, *Stats, error) {
 	if sc != nil {
-		sc.ensure(e.g.N())
+		sc.ensure(b.g.N())
 		sc.stats = ent.stats
 		if ent.resFaults == nil {
 			return nil, &sc.stats, ent.err
@@ -420,7 +500,8 @@ type BatchResult struct {
 // results[i] always corresponds to syndromes[i] regardless of worker
 // scheduling, and each syndrome's fault set and look-up count are
 // identical to what a sequential Diagnose call would produce — batching
-// changes throughput, not answers.
+// changes throughput, not answers. The whole batch runs against one
+// binding snapshot: a concurrent Rebind affects only later calls.
 //
 // Each syndrome is driven by exactly one worker, so plain *syndrome.Lazy
 // syndromes are safe here; the syndromes themselves must be distinct.
@@ -429,16 +510,17 @@ func (e *Engine) DiagnoseBatch(syndromes []syndrome.Syndrome, opt BatchOptions) 
 	if len(syndromes) == 0 {
 		return results
 	}
+	b := e.bnd.Load()
 	pool := opt.Pool
 	if pool == nil {
 		pool = transientPool{e: e, workers: opt.Workers}
 	}
 	if opt.ShareCertification || opt.ShareFinalPrefix {
-		e.diagnoseGrouped(pool, syndromes, opt, results)
+		e.diagnoseGrouped(b, pool, syndromes, opt, results)
 		return results
 	}
 	pool.RunScratch(len(syndromes), func(sc *Scratch, i int) {
-		results[i] = e.diagnoseOne(syndromes[i], opt.Options, sc)
+		results[i] = e.diagnoseOne(b, syndromes[i], opt.Options, sc)
 	})
 	return results
 }
@@ -451,9 +533,9 @@ func (e *Engine) DiagnoseBatch(syndromes []syndrome.Syndrome, opt BatchOptions) 
 // remaining group members under the representative's certification
 // verdict and/or resumed from its checkpoint. See the two BatchOptions
 // fields for the soundness arguments and the accounting contracts.
-func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, bopt BatchOptions, results []BatchResult) {
+func (e *Engine) diagnoseGrouped(b *binding, pool BatchPool, syndromes []syndrome.Syndrome, bopt BatchOptions, results []BatchResult) {
 	opt := bopt.Options
-	delta := e.delta
+	delta := b.delta
 	if opt.FaultBound > 0 && opt.FaultBound < delta {
 		delta = opt.FaultBound
 	}
@@ -508,7 +590,7 @@ func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, 
 		i := phaseA[k]
 		o := opt
 		o.recordPrefix = recFor[i]
-		results[i] = e.diagnoseOne(syndromes[i], o, sc)
+		results[i] = e.diagnoseOne(b, syndromes[i], o, sc)
 	})
 
 	type memberTask struct {
@@ -541,15 +623,16 @@ func (e *Engine) diagnoseGrouped(pool BatchPool, syndromes []syndrome.Syndrome, 
 		o := opt
 		o.shared = t.shared
 		o.resumePrefix = t.fp
-		results[t.idx] = e.diagnoseOne(syndromes[t.idx], o, sc)
+		results[t.idx] = e.diagnoseOne(b, syndromes[t.idx], o, sc)
 	})
 }
 
 // diagnoseOne runs one batch element on a worker-owned scratch and
 // copies the results out of it.
-func (e *Engine) diagnoseOne(s syndrome.Syndrome, opt Options, sc *Scratch) BatchResult {
+func (e *Engine) diagnoseOne(b *binding, s syndrome.Syndrome, opt Options, sc *Scratch) BatchResult {
 	opt.Scratch = sc
-	faults, stats, err := e.DiagnoseOpts(s, opt)
+	sc.ensure(b.g.N())
+	faults, stats, err := e.diagnose(b, s, opt)
 	var r BatchResult
 	if faults != nil {
 		r.Faults = faults.Clone()

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/topology"
+)
+
+// ErrNoSurvivingPartition means churn left the surviving component
+// without any valid Theorem 1 partition, even at fault bound 0: the
+// rebound engine holds no parts and every Diagnose call fails with this
+// error (wrapped), mirroring how a fresh bind reports
+// topology.ErrNoPartition.
+var ErrNoSurvivingPartition = errors.New("core: churn left no valid Theorem 1 partition on the surviving component")
+
+// RebindReport describes what one Rebind or Survivor call did — the
+// observability record for churn events.
+type RebindReport struct {
+	OldN, NewN int // graph sizes before/after
+
+	// Churn census, copied from the graph.Removal: explicitly removed
+	// nodes, explicitly removed surviving-relevant edges, and nodes
+	// stranded outside the largest surviving component.
+	RemovedNodes, RemovedEdges, Stranded int
+
+	// BaseDelta is the δ of the original (pre-churn) bind;
+	// EffectiveDelta is the degraded bound δ′ the rebound engine serves.
+	BaseDelta, EffectiveDelta int
+
+	// Partition survival census (see topology.SurviveParts): parts
+	// remapped untouched, parts trimmed and re-validated successfully,
+	// and parts dropped. PartsErr records the rebound engine's
+	// partition error (ErrNoSurvivingPartition, or a carried-over
+	// pre-churn error), nil when the engine can serve.
+	PartsKept, PartsRepaired, PartsDropped int
+	PartsErr                               error
+
+	// Final-pass kernel transition. When a declared/bound Cayley
+	// descriptor no longer verifies on the surviving component the
+	// engine falls back to the generic kernel and
+	// KernelFallbackReason says why; empty when the kernel carried
+	// over (or there was none).
+	KernelBefore, KernelAfter string
+	KernelFallbackReason      string
+
+	// Result-cache census over the caches passed to Rebind: entries
+	// flushed because they could not survive the churn, and entries
+	// remapped into the new id space.
+	CacheFlushed, CacheKept int
+}
+
+// String renders the report as a single human-readable line.
+func (r *RebindReport) String() string {
+	s := fmt.Sprintf("rebind %d->%d nodes (-%d nodes, -%d edges, %d stranded): delta %d->%d, parts %d kept/%d repaired/%d dropped, kernel %s->%s, cache %d flushed/%d kept",
+		r.OldN, r.NewN, r.RemovedNodes, r.RemovedEdges, r.Stranded,
+		r.BaseDelta, r.EffectiveDelta,
+		r.PartsKept, r.PartsRepaired, r.PartsDropped,
+		r.KernelBefore, r.KernelAfter,
+		r.CacheFlushed, r.CacheKept)
+	if r.PartsErr != nil {
+		s += fmt.Sprintf(" [parts: %v]", r.PartsErr)
+	}
+	if r.KernelFallbackReason != "" {
+		s += fmt.Sprintf(" [kernel: %s]", r.KernelFallbackReason)
+	}
+	return s
+}
+
+// Rebind atomically re-targets the engine at the surviving component of
+// a graph.Removal produced from the engine's current graph
+// (e.Graph().RemoveNodes / RemoveEdges / Remove), instead of forcing
+// callers to rebuild an engine from scratch when the network churns.
+// The rebind is incremental: the Theorem 1 partition is re-derived from
+// the existing parts (untouched parts are remapped wholesale, only
+// parts touched by the churn are re-validated — see
+// topology.SurviveParts), the degraded fault bound δ′ is recomputed
+// from the surviving census, the bound Cayley descriptor is re-verified
+// against the surviving component (falling back to the generic final
+// pass, with the reason recorded in the report, when the structure did
+// not survive), and the lazily built tightened-partition cache is
+// invalidated. The engine's scratch pool carries over — pooled
+// scratches resize lazily — so steady-state diagnosis stays
+// allocation-free across the rebind.
+//
+// Any ResultCaches the caller has been passing to this engine's
+// diagnoses should be handed in here: entries keyed on removed ids are
+// flushed and the rest are remapped into the new id space (see
+// ResultCache.Rebind); the census lands in the report. In-flight
+// diagnoses concurrent with Rebind are safe — each call runs against
+// one immutable binding snapshot, and the binding epoch keys cache
+// traffic to its own generation — they simply complete against the
+// pre-churn world.
+//
+// After a successful rebind the engine reports Degraded() and stamps
+// Stats.Degraded/EffectiveDelta on every diagnosis. A removal that
+// leaves no valid partition still succeeds: the engine then serves
+// errors, exactly like a fresh bind on a partitionless instance
+// (PartsErr returns ErrNoSurvivingPartition). Rebind only fails — and
+// changes nothing — when the removal is malformed (wrong graph, empty
+// survivor).
+//
+// Rebinds compose: a second Rebind takes a Removal produced from the
+// current (post-churn) graph.
+func (e *Engine) Rebind(rr *graph.Removal, caches ...*ResultCache) (*RebindReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.bnd.Load()
+	nb, rep, err := deriveBinding(b, rr)
+	if err != nil {
+		return nil, err
+	}
+	// Flush before publishing: entries rewritten here carry the new
+	// epoch, and nothing can insert under that epoch until the new
+	// binding is visible. Stale inserts racing us keep the old epoch
+	// and are unreachable after the swap (they age out of the LRU).
+	for _, c := range caches {
+		if c == nil {
+			continue
+		}
+		fl, kp := c.Rebind(rr.OldToNew, nb.g.N(), b.delta, nb.delta, nb.epoch)
+		rep.CacheFlushed += fl
+		rep.CacheKept += kp
+	}
+	e.bnd.Store(nb)
+	return rep, nil
+}
+
+// Survivor derives a new degraded engine for the removal's surviving
+// component without touching e — the non-mutating sibling of Rebind for
+// callers that want to keep serving the original binding (or diagnose
+// a hypothetical churn). The derivation is identical to Rebind's; the
+// new engine starts with its own empty scratch pool, and no caches are
+// rewritten (pass the survivor its own fresh ResultCache).
+func (e *Engine) Survivor(rr *graph.Removal) (*Engine, *RebindReport, error) {
+	nb, rep, err := deriveBinding(e.bnd.Load(), rr)
+	if err != nil {
+		return nil, nil, err
+	}
+	ne := &Engine{name: e.name}
+	ne.bnd.Store(nb)
+	return ne, rep, nil
+}
+
+// deriveBinding computes the degraded binding for a removal applied to
+// binding b. Pure with respect to b (shared slices are never written),
+// so concurrent readers of b are unaffected.
+func deriveBinding(b *binding, rr *graph.Removal) (*binding, *RebindReport, error) {
+	if len(rr.OldToNew) != b.g.N() {
+		return nil, nil, fmt.Errorf("core: removal maps %d nodes but the engine's graph has %d (removal must be produced from Engine.Graph())", len(rr.OldToNew), b.g.N())
+	}
+	g2 := rr.G
+	if g2 == nil || g2.N() == 0 {
+		return nil, nil, errors.New("core: removal left no surviving component to rebind to")
+	}
+	rep := &RebindReport{
+		OldN: b.g.N(), NewN: g2.N(),
+		RemovedNodes: rr.RemovedNodes, RemovedEdges: rr.RemovedEdges, Stranded: rr.Stranded,
+		BaseDelta:    b.baseDelta,
+		KernelBefore: kernelName(b.kernel),
+	}
+	nb := &binding{
+		nw:        b.nw,
+		g:         g2,
+		baseDelta: b.baseDelta,
+		epoch:     b.epoch + 1,
+	}
+
+	// Connectivity budget: each removed node or edge can lower κ by at
+	// most one, so the budget is a sound lower bound on κ(g2) as long
+	// as the original bind's bound was (κ for NewEngine, δ itself for
+	// NewGraphEngine). Stranded nodes left with the removed ones.
+	nb.connBudget = b.connBudget - (rr.RemovedNodes + rr.Stranded) - rr.RemovedEdges
+
+	// Partition survival: remap untouched parts, re-validate touched
+	// ones. A pre-churn partition error carries over — there is
+	// nothing to survive.
+	var parts2 []topology.Part
+	if b.partsErr != nil {
+		nb.partsErr = b.partsErr
+	} else {
+		var kept, repaired, dropped int
+		parts2, _, kept, repaired, dropped = topology.SurviveParts(g2, b.parts, rr.OldToNew, rr.GoneEdges, nil)
+		rep.PartsKept, rep.PartsRepaired, rep.PartsDropped = kept, repaired, dropped
+	}
+
+	// Degraded bound δ′: the largest d not exceeding the connectivity
+	// budget and the surviving minimum degree for which Theorem 1 still
+	// has enough material — at least d+1 surviving parts of at least
+	// d+1 nodes. (Part sizes need only exceed the bound actually
+	// served, which is why SurviveParts leaves the size filter to us.)
+	dmax := b.delta
+	if nb.connBudget < dmax {
+		dmax = nb.connBudget
+	}
+	if md := g2.MinDegree(); md < dmax {
+		dmax = md
+	}
+	if dmax < 0 {
+		// The survivor is a single connected component, so the bound
+		// δ′ = 0 (diagnose under "no faults survive") is always sound
+		// even after the budget is exhausted.
+		dmax = 0
+	}
+	delta2 := -1
+	if nb.partsErr == nil {
+		for d := dmax; d >= 0; d-- {
+			cnt := 0
+			for _, p := range parts2 {
+				if len(p.Nodes) >= d+1 {
+					cnt++
+				}
+			}
+			if cnt >= d+1 {
+				delta2 = d
+				break
+			}
+		}
+	}
+	if delta2 < 0 {
+		nb.delta = 0
+		if nb.partsErr == nil {
+			nb.partsErr = ErrNoSurvivingPartition
+		}
+	} else {
+		nb.delta = delta2
+		served := parts2[:0] // parts2 owns its backing; filter in place
+		for _, p := range parts2 {
+			if len(p.Nodes) >= delta2+1 {
+				served = append(served, p)
+			}
+		}
+		nb.parts = served
+	}
+	rep.EffectiveDelta = nb.delta
+	rep.PartsErr = nb.partsErr
+
+	// Kernel survival: the bound descriptor described the old
+	// adjacency; trust it on the survivor only if it verifies there.
+	if b.kernel != nil && b.desc != nil {
+		if err := graph.VerifyCayley(g2, b.desc); err == nil {
+			nb.kernel = bindFinalKernel(b.desc, g2)
+			nb.desc = b.desc
+		} else {
+			rep.KernelFallbackReason = fmt.Sprintf("bound %s descriptor no longer verifies on the surviving component (%v); final pass falls back to the generic kernel", kernelName(b.kernel), err)
+		}
+	}
+	rep.KernelAfter = kernelName(nb.kernel)
+
+	nb.degraded = b.degraded || nb.delta < b.delta ||
+		rr.RemovedNodes+rr.RemovedEdges+rr.Stranded > 0
+	return nb, rep, nil
+}

@@ -1,0 +1,224 @@
+package distsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FaultPlan describes deterministic network-fault injection for one
+// protocol run: message drops, duplicates and delays, permanently slow
+// links, and node crashes mid-wave. All randomness flows from a single
+// generator seeded by Seed and consumed in the engine's deterministic
+// delivery order, so the same plan against the same program replays the
+// injection schedule — and therefore the whole run: every statistic,
+// every event — bit-identically.
+type FaultPlan struct {
+	// Seed seeds the injection generator.
+	Seed uint64
+	// Drop is the probability a sent message is lost in transit.
+	Drop float64
+	// Duplicate is the probability a delivered message arrives twice in
+	// the same round.
+	Duplicate float64
+	// Delay is the probability a message is held back; a delayed
+	// message arrives 1 + rand(MaxDelay) rounds late (MaxDelay ≤ 1
+	// means exactly one round late).
+	Delay    float64
+	MaxDelay int
+	// SlowLinks adds a fixed Extra rounds of latency to every message
+	// crossing the listed undirected links (on top of any probabilistic
+	// delay).
+	SlowLinks []SlowLink
+	// Crashes silences nodes mid-wave: from its Round onward a crashed
+	// node neither sends nor receives. Nothing reroutes around it —
+	// whatever depended on it must time out and degrade.
+	Crashes []Crash
+}
+
+// SlowLink marks the undirected link {U, V} as slow by Extra rounds.
+type SlowLink struct {
+	U, V  int32
+	Extra int
+}
+
+// Crash silences Node from round Round onward.
+type Crash struct {
+	Node  int32
+	Round int
+}
+
+// FaultStats counts what a plan actually did to one run.
+type FaultStats struct {
+	Dropped      int64 // messages lost in transit
+	Duplicated   int64 // extra copies delivered
+	Delayed      int64 // messages held back (incl. slow-link latency)
+	CrashDropped int64 // messages silenced by a crashed sender/receiver
+}
+
+// FaultEvent is one injection, in the order the engine performed them —
+// the replay-comparison ledger.
+type FaultEvent struct {
+	Round    int // round the affected message was sent (crash-recv: delivery round)
+	Kind     string
+	From, To int32
+	Delay    int // rounds of added latency for "delay" events
+}
+
+// injector holds a fault plan's runtime state inside an Engine. It is
+// only touched from the engine's single-threaded delivery sections, so
+// the generator's consumption order is deterministic.
+type injector struct {
+	plan   *FaultPlan
+	rng    *rand.Rand
+	crash  []int // crash round per node, MaxInt when never
+	slow   map[int64]int
+	future map[int][]Message // delayed deliveries keyed by arrival round
+	stats  FaultStats
+	events []FaultEvent
+}
+
+// SetFaultPlan arms the engine with a fault plan. Must be called before
+// Run; a nil plan disarms injection (the default).
+func (e *Engine) SetFaultPlan(p *FaultPlan) {
+	if p == nil {
+		e.inj = nil
+		return
+	}
+	inj := &injector{
+		plan:   p,
+		rng:    rand.New(rand.NewSource(int64(p.Seed))),
+		crash:  make([]int, e.g.N()),
+		future: make(map[int][]Message),
+	}
+	for i := range inj.crash {
+		inj.crash[i] = math.MaxInt
+	}
+	for _, c := range p.Crashes {
+		if int(c.Node) < len(inj.crash) && c.Round < inj.crash[c.Node] {
+			inj.crash[c.Node] = c.Round
+		}
+	}
+	if len(p.SlowLinks) > 0 {
+		inj.slow = make(map[int64]int, len(p.SlowLinks))
+		for _, l := range p.SlowLinks {
+			inj.slow[linkKey(l.U, l.V)] = l.Extra
+		}
+	}
+	e.inj = inj
+}
+
+// FaultStats returns the injection counters of the last Run (zero
+// without a plan).
+func (e *Engine) FaultStats() FaultStats {
+	if e.inj == nil {
+		return FaultStats{}
+	}
+	return e.inj.stats
+}
+
+// FaultEvents returns the injection ledger of the last Run in execution
+// order (nil without a plan). The returned slice is the engine's own.
+func (e *Engine) FaultEvents() []FaultEvent {
+	if e.inj == nil {
+		return nil
+	}
+	return e.inj.events
+}
+
+func linkKey(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(uint32(v))
+}
+
+// inject filters a just-produced batch through the plan: sender-crash
+// silencing, drops, duplication, and (slow-link plus probabilistic)
+// delays. sendRound is the round the batch was produced in; undelayed
+// messages deliver at sendRound+1, delayed ones are parked in future.
+// Without a plan the batch passes through untouched.
+func (e *Engine) inject(batch []Message, sendRound int) []Message {
+	inj := e.inj
+	if inj == nil {
+		return batch
+	}
+	p := inj.plan
+	out := make([]Message, 0, len(batch))
+	for _, m := range batch {
+		if inj.crash[m.From] <= sendRound {
+			inj.stats.CrashDropped++
+			inj.events = append(inj.events, FaultEvent{Round: sendRound, Kind: "crash-send", From: m.From, To: m.To})
+			continue
+		}
+		if p.Drop > 0 && inj.rng.Float64() < p.Drop {
+			inj.stats.Dropped++
+			inj.events = append(inj.events, FaultEvent{Round: sendRound, Kind: "drop", From: m.From, To: m.To})
+			continue
+		}
+		delay := 0
+		if inj.slow != nil {
+			delay += inj.slow[linkKey(m.From, m.To)]
+		}
+		if p.Delay > 0 && inj.rng.Float64() < p.Delay {
+			extra := 1
+			if p.MaxDelay > 1 {
+				extra += inj.rng.Intn(p.MaxDelay)
+			}
+			delay += extra
+		}
+		dup := p.Duplicate > 0 && inj.rng.Float64() < p.Duplicate
+		if delay > 0 {
+			inj.stats.Delayed++
+			inj.events = append(inj.events, FaultEvent{Round: sendRound, Kind: "delay", From: m.From, To: m.To, Delay: delay})
+			arrive := sendRound + 1 + delay
+			inj.future[arrive] = append(inj.future[arrive], m)
+			if dup {
+				inj.stats.Duplicated++
+				inj.events = append(inj.events, FaultEvent{Round: sendRound, Kind: "dup", From: m.From, To: m.To})
+				inj.future[arrive] = append(inj.future[arrive], m)
+			}
+			continue
+		}
+		out = append(out, m)
+		if dup {
+			inj.stats.Duplicated++
+			inj.events = append(inj.events, FaultEvent{Round: sendRound, Kind: "dup", From: m.From, To: m.To})
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// takeDue merges delayed messages arriving this round into the batch.
+func (e *Engine) takeDue(round int, pending []Message) []Message {
+	if e.inj == nil {
+		return pending
+	}
+	if due, ok := e.inj.future[round]; ok {
+		pending = append(pending, due...)
+		delete(e.inj.future, round)
+	}
+	return pending
+}
+
+// dropCrashedReceivers removes messages addressed to nodes that have
+// crashed by the delivery round.
+func (e *Engine) dropCrashedReceivers(round int, pending []Message) []Message {
+	inj := e.inj
+	if inj == nil {
+		return pending
+	}
+	out := pending[:0]
+	for _, m := range pending {
+		if inj.crash[m.To] <= round {
+			inj.stats.CrashDropped++
+			inj.events = append(inj.events, FaultEvent{Round: round, Kind: "crash-recv", From: m.From, To: m.To})
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// inFlight reports whether delayed messages are still parked.
+func (e *Engine) inFlight() bool { return e.inj != nil && len(e.inj.future) > 0 }

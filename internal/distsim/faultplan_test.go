@@ -1,0 +1,259 @@
+package distsim
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// faultyFixture binds a Q6 collect server for the fault-injection
+// tests.
+func faultyFixture(t *testing.T) (*CollectServer, *topology.Hypercube) {
+	t.Helper()
+	nw := topology.NewHypercube(6)
+	parts, err := nw.Parts(nw.Diagnosability()+1, nw.Diagnosability()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCollectServer(nw.Graph(), nw.Diagnosability(), parts, 2, 50000)
+	t.Cleanup(cs.Close)
+	return cs, nw
+}
+
+// TestResilientCollectCleanNetwork checks the hardened protocol on a
+// fault-free network: nothing missing, and the wave diagnoses exactly
+// like the plain replay path.
+func TestResilientCollectCleanNetwork(t *testing.T) {
+	cs, nw := faultyFixture(t)
+	F := syndrome.RandomFaults(nw.Graph().N(), nw.Diagnosability(), rand.New(rand.NewSource(1)))
+	res := cs.ReplayFaulty([]syndrome.Syndrome{syndrome.NewLazy(F, syndrome.Mimic{})}, nil, 3, nil)[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Missing) != 0 || res.Degraded {
+		t.Fatalf("clean network left missing=%v degraded=%v", res.Missing, res.Degraded)
+	}
+	if !res.Faults.Equal(F) {
+		t.Fatalf("diagnosed %v, want %v", res.Faults, F)
+	}
+	if res.Inject != (FaultStats{}) || len(res.Events) != 0 {
+		t.Fatalf("no plan, but injection ledger %+v / %d events", res.Inject, len(res.Events))
+	}
+	// The stop-and-wait discipline costs more rounds than the plain
+	// convergecast but must still assemble every record.
+	if res.Net.Records == 0 || res.Net.Rounds == 0 {
+		t.Fatalf("empty network ledger: %+v", res.Net)
+	}
+}
+
+// TestFaultyReplayDeterminism replays the same wave set under the same
+// plan twice and requires bit-identical outcomes — fault sets, missing
+// lists, network ledgers, injection counters, event logs and diagnosis
+// stats.
+func TestFaultyReplayDeterminism(t *testing.T) {
+	cs, nw := faultyFixture(t)
+	plan := &FaultPlan{
+		Seed:      42,
+		Drop:      0.12,
+		Duplicate: 0.05,
+		Delay:     0.10,
+		MaxDelay:  3,
+		SlowLinks: []SlowLink{{U: 0, V: 1, Extra: 2}},
+		Crashes:   []Crash{{Node: 9, Round: 3}},
+	}
+	rng := rand.New(rand.NewSource(2))
+	var syns1, syns2 []syndrome.Syndrome
+	var hyps []*bitset.Set
+	for i := 0; i < 4; i++ {
+		F := syndrome.RandomFaults(nw.Graph().N(), rng.Intn(nw.Diagnosability()), rng)
+		hyps = append(hyps, F)
+		syns1 = append(syns1, syndrome.NewLazy(F, syndrome.Mimic{}))
+		syns2 = append(syns2, syndrome.NewLazy(F, syndrome.Mimic{}))
+	}
+	r1 := cs.ReplayFaulty(syns1, plan, 4, nil)
+	r2 := cs.ReplayFaulty(syns2, plan, 4, nil)
+	for i := range r1 {
+		a, b := r1[i], r2[i]
+		if (a.Faults == nil) != (b.Faults == nil) || (a.Faults != nil && !a.Faults.Equal(b.Faults)) {
+			t.Fatalf("wave %d: fault sets differ across replays", i)
+		}
+		if !slices.Equal(a.Missing, b.Missing) {
+			t.Fatalf("wave %d: missing %v vs %v", i, a.Missing, b.Missing)
+		}
+		if a.Net != b.Net || a.Inject != b.Inject || a.Diag != b.Diag ||
+			a.Degraded != b.Degraded || a.EffectiveDelta != b.EffectiveDelta {
+			t.Fatalf("wave %d: ledgers diverge:\n%+v\n%+v", i, a, b)
+		}
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Fatalf("wave %d: event logs diverge (%d vs %d events)", i, len(a.Events), len(b.Events))
+		}
+		_ = hyps
+	}
+}
+
+// TestFaultyReplayDegradesOnCrash crashes one node before it can send
+// and drops traffic; the wave must still complete within the budget,
+// report the crashed node missing, and return a degraded diagnosis on
+// the surviving component flagged through core.Stats.
+func TestFaultyReplayDegradesOnCrash(t *testing.T) {
+	cs, nw := faultyFixture(t)
+	g := nw.Graph()
+	// Crash a BFS-tree leaf (node 63 is the deepest node of the
+	// ascending-parent tree and forwards for nobody), so the missing
+	// set stays small and the survivor keeps a useful δ′. Crashing an
+	// internal node like 1 severs its whole subtree — half the network
+	// — and degrades δ′ to 0, which is also correct but a different
+	// scenario (covered by TestRebindNoSurvivingPartition in core).
+	plan := &FaultPlan{
+		Seed:    7,
+		Drop:    0.10,
+		Crashes: []Crash{{Node: 63, Round: 0}}, // silenced before Init delivers
+	}
+	F := syndrome.RandomFaults(g.N(), 3, rand.New(rand.NewSource(5)))
+	res := cs.ReplayFaulty([]syndrome.Syndrome{syndrome.NewLazy(F, syndrome.Mimic{})}, plan, 5, nil)[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !slices.Contains(res.Missing, int32(63)) {
+		t.Fatalf("crashed node 63 should be missing, got %v", res.Missing)
+	}
+	if !res.Degraded || !res.Diag.Degraded || res.Diag.EffectiveDelta != res.EffectiveDelta {
+		t.Fatalf("degraded wave not flagged: %+v / %+v", res, res.Diag)
+	}
+	if res.EffectiveDelta <= 0 || res.EffectiveDelta >= nw.Diagnosability() {
+		t.Fatalf("EffectiveDelta = %d, want in (0, δ=%d)", res.EffectiveDelta, nw.Diagnosability())
+	}
+	// Ground truth for the partial diagnosis: the hypothesis restricted
+	// to the surviving component, provided it respects δ′.
+	rr := g.RemoveNodes(res.Missing)
+	want := bitset.New(g.N())
+	F.ForEach(func(i int) bool {
+		if rr.OldToNew[i] >= 0 {
+			want.Add(i)
+		}
+		return true
+	})
+	if want.Count() <= res.EffectiveDelta {
+		if !res.Faults.Equal(want) {
+			t.Fatalf("degraded diagnosis %v, want surviving hypothesis %v", res.Faults, want)
+		}
+	}
+	if res.Inject.Dropped == 0 && res.Inject.CrashDropped == 0 {
+		t.Fatalf("plan injected nothing: %+v", res.Inject)
+	}
+}
+
+// TestFaultPlanLossless checks duplicates, delays and slow links alone
+// (no loss, no crashes) still collect everything: acks make duplicates
+// idempotent and delays only cost rounds.
+func TestFaultPlanLossless(t *testing.T) {
+	cs, nw := faultyFixture(t)
+	plan := &FaultPlan{
+		Seed:      11,
+		Duplicate: 0.2,
+		Delay:     0.25,
+		MaxDelay:  4,
+		SlowLinks: []SlowLink{{U: 0, V: 2, Extra: 3}},
+	}
+	F := syndrome.RandomFaults(nw.Graph().N(), 4, rand.New(rand.NewSource(9)))
+	res := cs.ReplayFaulty([]syndrome.Syndrome{syndrome.NewLazy(F, syndrome.Mimic{})}, plan, 4, nil)[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Missing) != 0 || res.Degraded {
+		t.Fatalf("lossless plan lost records: missing=%v", res.Missing)
+	}
+	if !res.Faults.Equal(F) {
+		t.Fatalf("diagnosed %v, want %v", res.Faults, F)
+	}
+	if res.Inject.Duplicated == 0 || res.Inject.Delayed == 0 {
+		t.Fatalf("plan injected nothing: %+v", res.Inject)
+	}
+	if res.Inject.Dropped != 0 || res.Inject.CrashDropped != 0 {
+		t.Fatalf("lossless plan dropped messages: %+v", res.Inject)
+	}
+}
+
+// TestFaultPlanTotalLossHitsRoundLimit pins the livelock guard: at
+// Drop = 1 a retransmitting protocol must terminate via the round
+// budget (degrading to a root-only wave), not spin forever.
+func TestFaultPlanTotalLossHitsRoundLimit(t *testing.T) {
+	nw := topology.NewHypercube(4)
+	e := NewEngine(nw.Graph(), 0)
+	e.SetFaultPlan(&FaultPlan{Seed: 1, Drop: 1.0})
+	rc := NewResilientCollect(e, nw.Graph(), syndrome.NewLazy(bitset.New(nw.Graph().N()), syndrome.Mimic{}), 1000)
+	_, err := e.Run(rc, 200)
+	if err == nil {
+		// Fine too: every hop exhausted its retries before the budget.
+		if len(rc.Missing()) != nw.Graph().N()-1 {
+			t.Fatalf("total loss should leave only the root collected, missing %v", rc.Missing())
+		}
+		return
+	}
+	if err != ErrRoundLimit {
+		t.Fatalf("want ErrRoundLimit or clean give-up, got %v", err)
+	}
+}
+
+// TestFaultPlanDoesNotPerturbCleanRuns checks an armed-but-empty plan
+// leaves the ledger of a fault-free protocol byte-identical to an
+// unarmed run.
+func TestFaultPlanDoesNotPerturbCleanRuns(t *testing.T) {
+	nw := topology.NewHypercube(5)
+	F := syndrome.RandomFaults(nw.Graph().N(), 2, rand.New(rand.NewSource(3)))
+
+	run := func(armed bool) Stats {
+		e := NewEngine(nw.Graph(), 0)
+		if armed {
+			e.SetFaultPlan(&FaultPlan{Seed: 123})
+		}
+		rc := NewResilientCollect(e, nw.Graph(), syndrome.NewLazy(F, syndrome.Mimic{}), 3)
+		st, err := e.Run(rc, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := rc.Missing(); len(m) != 0 {
+			t.Fatalf("clean run missing %v", m)
+		}
+		return *st
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("empty plan changed the ledger:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCentralVsResilientLedger sanity-checks the hardening overhead
+// shape: the resilient protocol moves at least as many records (per-hop
+// acks) as the raw convergecast on the same wave.
+func TestCentralVsResilientLedger(t *testing.T) {
+	nw := topology.NewHypercube(5)
+	g := nw.Graph()
+	F := syndrome.RandomFaults(g.N(), 2, rand.New(rand.NewSource(8)))
+
+	e1 := NewEngine(g, 0)
+	c1 := NewCentralCollect(e1, g, syndrome.NewLazy(F, syndrome.Mimic{}))
+	st1, err := e1.Run(c1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(g, 0)
+	c2 := NewResilientCollect(e2, g, syndrome.NewLazy(F, syndrome.Mimic{}), 3)
+	st2, err := e2.Run(c2, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.GivenUp() != 0 {
+		t.Fatalf("clean run gave up %d records", c2.GivenUp())
+	}
+	if st2.Messages <= st1.Messages {
+		t.Fatalf("resilient run should pay for acks: %d msgs vs central %d", st2.Messages, st1.Messages)
+	}
+	if st2.Tests != st1.Tests {
+		t.Fatalf("test counts must match: %d vs %d", st2.Tests, st1.Tests)
+	}
+}

@@ -23,6 +23,7 @@ type CollectServer struct {
 	g         *graph.Graph
 	delta     int
 	parts     []topology.Part
+	eng       *core.Engine
 	rt        *campaign.Runtime
 	maxRounds int
 }
@@ -33,7 +34,7 @@ type CollectServer struct {
 func NewCollectServer(g *graph.Graph, delta int, parts []topology.Part, workers, maxRounds int) *CollectServer {
 	eng := core.NewGraphEngine(g, delta, parts)
 	return &CollectServer{
-		g: g, delta: delta, parts: parts,
+		g: g, delta: delta, parts: parts, eng: eng,
 		rt:        campaign.NewRuntime(eng, workers),
 		maxRounds: maxRounds,
 	}
@@ -110,4 +111,122 @@ func (cs *CollectServer) ReplayBatch(syns []syndrome.Syndrome, cache *core.Resul
 		out[i].Err = r.Err
 	}
 	return out
+}
+
+// FaultyReplayResult is one wave's outcome under fault injection.
+type FaultyReplayResult struct {
+	// Faults is the diagnosed fault set in the server graph's id space
+	// (degraded diagnoses are mapped back from the survivor).
+	Faults *bitset.Set
+	// Missing lists the sources whose test vectors never reached the
+	// centre (ascending, server-graph ids). Empty for a full wave.
+	Missing []int32
+	// Degraded reports a partial-syndrome wave: the diagnosis covers
+	// only the surviving component, under EffectiveDelta.
+	Degraded       bool
+	EffectiveDelta int
+	// Net is the wave's BSP cost ledger (zero if the wave exhausted
+	// the round budget — the run keeps no partial network accounting).
+	Net Stats
+	// Inject and Events are the wave's fault-injection ledger.
+	Inject FaultStats
+	Events []FaultEvent
+	// Diag is the central diagnosis cost profile.
+	Diag core.Stats
+	// Err reports a failed diagnosis (or a collection that timed out
+	// AND could not be degraded). A round-limited collection alone is
+	// not an error: the wave degrades to whatever was collected.
+	Err error
+}
+
+// remappedSyndrome presents the centre's view of a partial collection:
+// tests among surviving nodes, addressed in survivor ids, answered by
+// the original syndrome through the id map. It is deliberately not a
+// *syndrome.Lazy, so the diagnosis engine serves it on its generic
+// (kernel-free, cache-free) path.
+type remappedSyndrome struct {
+	inner    syndrome.Syndrome
+	newToOld []int32
+}
+
+func (r remappedSyndrome) Test(u, v, w int32) int {
+	return r.inner.Test(r.newToOld[u], r.newToOld[v], r.newToOld[w])
+}
+func (r remappedSyndrome) Lookups() int64 { return r.inner.Lookups() }
+func (r remappedSyndrome) ResetLookups() { r.inner.ResetLookups() }
+
+// ReplayFaulty is Replay under a network fault plan: each wave collects
+// through ResilientCollect (stop-and-wait hop acks, timeout
+// retransmission with exponential backoff, bounded by retries) on an
+// engine armed with the plan. Waves that still collect every source are
+// diagnosed exactly like Replay (batched through the runtime, cache
+// honoured). Waves with missing sources degrade instead of failing:
+// the missing nodes are removed from the server graph, a Survivor
+// engine is derived for the surviving component (see core.Engine), and
+// the partial syndrome is diagnosed there — the result maps back to
+// server ids and is flagged Degraded with the survivor's δ′. Each wave
+// arms a fresh engine with the same plan, so a wave's injection
+// schedule depends only on the plan seed and the traffic: replaying
+// the same syndromes under the same plan reproduces every result —
+// fault sets, ledgers, events — bit-identically.
+func (cs *CollectServer) ReplayFaulty(syns []syndrome.Syndrome, plan *FaultPlan, retries int, cache *core.ResultCache) []FaultyReplayResult {
+	out := make([]FaultyReplayResult, len(syns))
+	var fullIdx []int
+	var fullSyns []syndrome.Syndrome
+	for i, s := range syns {
+		e := NewEngine(cs.g, 0)
+		e.SetFaultPlan(plan)
+		rc := NewResilientCollect(e, cs.g, s, retries)
+		st, err := e.Run(rc, cs.maxRounds)
+		if st != nil {
+			out[i].Net = *st
+		}
+		out[i].Inject = e.FaultStats()
+		out[i].Events = e.FaultEvents()
+		out[i].Missing = rc.Missing()
+		// A round-limited run degrades like a lossy one: every source
+		// that did arrive is usable. err is deliberately not recorded.
+		_ = err
+		if len(out[i].Missing) == 0 {
+			fullIdx = append(fullIdx, i)
+			fullSyns = append(fullSyns, s)
+			continue
+		}
+		cs.degradedWave(&out[i], s)
+	}
+	batch := cs.rt.DiagnoseBatch(fullSyns, core.BatchOptions{Options: core.Options{ResultCache: cache}})
+	for k, r := range batch {
+		i := fullIdx[k]
+		out[i].Faults = r.Faults
+		out[i].Diag = r.Stats
+		out[i].Err = r.Err
+	}
+	return out
+}
+
+// degradedWave diagnoses a partial collection on the surviving
+// component and maps the verdict back to server ids.
+func (cs *CollectServer) degradedWave(r *FaultyReplayResult, s syndrome.Syndrome) {
+	r.Degraded = true
+	rr := cs.g.RemoveNodes(r.Missing)
+	surv, rep, err := cs.eng.Survivor(rr)
+	if err != nil {
+		r.Err = err
+		return
+	}
+	r.EffectiveDelta = rep.EffectiveDelta
+	faults, st, err := surv.Diagnose(remappedSyndrome{inner: s, newToOld: rr.NewToOld})
+	if st != nil {
+		r.Diag = *st
+	}
+	if err != nil {
+		r.Err = err
+		return
+	}
+	mapped := bitset.New(cs.g.N())
+	faults.ForEach(func(i int) bool {
+		mapped.Add(int(rr.NewToOld[i]))
+		return true
+	})
+	r.Faults = mapped
 }

@@ -1,0 +1,240 @@
+package distsim
+
+import (
+	"slices"
+
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+)
+
+const (
+	// kindVecUp carries one source node's complete test vector one hop
+	// up the BFS tree (A = source id, List = vector).
+	kindVecUp uint8 = 40
+	// kindVecAck acknowledges a kindVecUp hop (A = source id).
+	kindVecAck uint8 = 41
+)
+
+// maxBackoffShift caps the exponential retransmission backoff.
+const maxBackoffShift = 8
+
+// ResilientCollect is CentralCollect hardened against a faulty network:
+// per-source test vectors travel hop-by-hop up the BFS tree under a
+// stop-and-wait acknowledgement discipline, lost or delayed hops time
+// out and retransmit with exponential backoff, and a hop that exhausts
+// its retry budget gives its record up instead of stalling the wave —
+// the centre then simply reports those sources as Missing and the
+// caller degrades the diagnosis (see CollectServer.ReplayFaulty).
+//
+// Timeouts are modelled on the engine's quiescence signal: OnQuiet
+// fires exactly when nothing is in flight, i.e. when every unacked
+// sender's message (or its ack) has been lost, so each OnQuiet is one
+// timeout epoch. Backoff parks a sender for 2^attempts epochs; since
+// parked epochs with no other traffic carry no information, the
+// protocol fast-forwards them by the minimum pending skip, keeping
+// simulated rounds proportional to actual traffic. The protocol is
+// deterministic: state transitions depend only on delivered messages
+// (dedup makes duplicates idempotent) and epoch order, so a replayed
+// fault plan reproduces the run exactly.
+type ResilientCollect struct {
+	e       *Engine
+	g       *graph.Graph
+	s       syndrome.Syndrome
+	retries int
+
+	parent []int32
+
+	// Per-node forwarding state: a FIFO of records still to forward,
+	// the in-flight record awaiting ack (index 0 of queue), the
+	// retransmission attempt count and the backoff park counter.
+	queue    [][]rec
+	inflight []bool
+	attempts []int
+	skip     []int
+	seen     []map[int32]bool // per node: source ids already forwarded/acked
+
+	collected map[int32][]int32 // at the root: source id -> vector
+	givenUp   int64             // records abandoned after the retry budget
+}
+
+// rec is one source's vector in transit.
+type rec struct {
+	src int32
+	vec []int32
+}
+
+// NewResilientCollect prepares the protocol. retries bounds how often a
+// hop retransmits one record before giving it up (≤ 0 means no
+// retransmissions: first timeout abandons the record).
+func NewResilientCollect(e *Engine, g *graph.Graph, s syndrome.Syndrome, retries int) *ResilientCollect {
+	s = syndrome.ForConcurrent(s)
+	n := g.N()
+	c := &ResilientCollect{
+		e: e, g: g, s: s, retries: retries,
+		parent:    make([]int32, n),
+		queue:     make([][]rec, n),
+		inflight:  make([]bool, n),
+		attempts:  make([]int, n),
+		skip:      make([]int, n),
+		seen:      make([]map[int32]bool, n),
+		collected: make(map[int32][]int32, n),
+	}
+	dist := g.BFSFrom(0, nil)
+	for u := int32(0); int(u) < n; u++ {
+		c.parent[u] = -1
+		c.seen[u] = make(map[int32]bool)
+		if u == 0 || dist[u] < 0 {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == dist[u]-1 {
+				c.parent[u] = v
+				break
+			}
+		}
+	}
+	return c
+}
+
+// localVector is node u's complete comparison-test set (see
+// CentralCollect.localVector).
+func (c *ResilientCollect) localVector(u int32) []int32 {
+	adj := c.g.Neighbors(u)
+	out := make([]int32, 0, len(adj)*(len(adj)-1)/2)
+	for i := 0; i < len(adj); i++ {
+		for j := i + 1; j < len(adj); j++ {
+			out = append(out, int32(c.s.Test(u, adj[i], adj[j])))
+		}
+	}
+	c.e.CountTests(int64(len(out)))
+	return out
+}
+
+// send emits node u's head-of-queue record to its parent.
+func (c *ResilientCollect) send(u int32) Message {
+	c.inflight[u] = true
+	r := c.queue[u][0]
+	return Message{From: u, To: c.parent[u], Kind: kindVecUp, A: r.src, List: r.vec}
+}
+
+// Init implements Program: every node tests, the root self-collects,
+// and every other node starts forwarding its own vector.
+func (c *ResilientCollect) Init() []Message {
+	var out []Message
+	for u := int32(0); int(u) < c.g.N(); u++ {
+		vec := c.localVector(u)
+		if u == 0 {
+			c.collected[0] = vec
+			continue
+		}
+		if c.parent[u] < 0 {
+			continue
+		}
+		c.seen[u][u] = true
+		c.queue[u] = append(c.queue[u], rec{src: u, vec: vec})
+		out = append(out, c.send(u))
+	}
+	return out
+}
+
+// OnRound implements Program.
+func (c *ResilientCollect) OnRound(u int32, in []Message) []Message {
+	var out []Message
+	for _, m := range in {
+		switch m.Kind {
+		case kindVecUp:
+			// Always ack — a duplicate means our previous ack was lost
+			// (or the sender retransmitted into a delay), and only the
+			// ack releases the sender.
+			out = append(out, Message{From: u, To: m.From, Kind: kindVecAck, A: m.A})
+			if c.seen[u][m.A] {
+				break // duplicate record: idempotent
+			}
+			c.seen[u][m.A] = true
+			if u == 0 {
+				c.collected[m.A] = m.List
+				break
+			}
+			c.queue[u] = append(c.queue[u], rec{src: m.A, vec: m.List})
+			if !c.inflight[u] {
+				c.attempts[u], c.skip[u] = 0, 0
+				out = append(out, c.send(u))
+			}
+		case kindVecAck:
+			if c.inflight[u] && c.queue[u][0].src == m.A {
+				c.inflight[u] = false
+				c.queue[u] = c.queue[u][1:]
+				c.attempts[u], c.skip[u] = 0, 0
+				if len(c.queue[u]) > 0 {
+					out = append(out, c.send(u))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OnQuiet implements Program: every node still awaiting an ack has
+// timed out. Backoff parks are fast-forwarded by the minimum pending
+// skip; senders coming off park either retransmit (doubling their
+// park) or, past the retry budget, abandon the record and move on.
+func (c *ResilientCollect) OnQuiet() []Message {
+	var waiting []int32
+	minSkip := -1
+	for u := int32(0); int(u) < c.g.N(); u++ {
+		if c.inflight[u] {
+			waiting = append(waiting, u)
+			if minSkip < 0 || c.skip[u] < minSkip {
+				minSkip = c.skip[u]
+			}
+		}
+	}
+	if len(waiting) == 0 {
+		return nil // collection over: whatever the root has is the wave
+	}
+	var out []Message
+	for _, u := range waiting {
+		c.skip[u] -= minSkip
+		if c.skip[u] > 0 {
+			continue // still parked relative to this epoch
+		}
+		if c.attempts[u] >= c.retries {
+			// Budget exhausted: give the record up and move on to the
+			// next one (fresh budget), keeping the wave flowing.
+			c.givenUp++
+			c.inflight[u] = false
+			c.queue[u] = c.queue[u][1:]
+			c.attempts[u], c.skip[u] = 0, 0
+			if len(c.queue[u]) > 0 {
+				out = append(out, c.send(u))
+			}
+			continue
+		}
+		c.attempts[u]++
+		shift := c.attempts[u]
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
+		}
+		c.skip[u] = 1 << shift
+		out = append(out, c.send(u))
+	}
+	return out
+}
+
+// Missing returns, ascending, the node ids whose test vectors never
+// reached the centre. Empty means the collection completed in full.
+func (c *ResilientCollect) Missing() []int32 {
+	var missing []int32
+	for u := int32(0); int(u) < c.g.N(); u++ {
+		if _, ok := c.collected[u]; !ok {
+			missing = append(missing, u)
+		}
+	}
+	slices.Sort(missing)
+	return missing
+}
+
+// GivenUp counts records abandoned after exhausting their retry budget
+// (over all hops, so one source crossing k failed hops counts once per
+// abandoning hop).
+func (c *ResilientCollect) GivenUp() int64 { return c.givenUp }

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparisondiag/internal/bitset"
+)
+
+// pathGraph builds 0-1-2-...-(n-1).
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.MustAddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+// cycleGraph builds an n-cycle.
+func cycleGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.Build()
+}
+
+func TestRemoveNodesCompactsLargestComponent(t *testing.T) {
+	// Path 0..9; removing node 3 leaves {0,1,2} and {4..9}; the larger
+	// right side must win and be renumbered 0..5.
+	g := pathGraph(10)
+	rr := g.RemoveNodes([]int32{3, 3}) // duplicate tolerated
+	if rr.RemovedNodes != 1 {
+		t.Fatalf("RemovedNodes = %d, want 1", rr.RemovedNodes)
+	}
+	if rr.G.N() != 6 {
+		t.Fatalf("survivor has %d nodes, want 6", rr.G.N())
+	}
+	if rr.Stranded != 3 {
+		t.Fatalf("Stranded = %d, want 3", rr.Stranded)
+	}
+	for old := int32(0); old <= 3; old++ {
+		if rr.OldToNew[old] != -1 {
+			t.Fatalf("OldToNew[%d] = %d, want -1", old, rr.OldToNew[old])
+		}
+	}
+	for new_, old := range rr.NewToOld {
+		if want := int32(new_ + 4); old != want {
+			t.Fatalf("NewToOld[%d] = %d, want %d", new_, old, want)
+		}
+		if rr.OldToNew[old] != int32(new_) {
+			t.Fatalf("OldToNew[%d] = %d, want %d", old, rr.OldToNew[old], new_)
+		}
+	}
+	if err := rr.G.Validate(); err != nil {
+		t.Fatalf("survivor graph invalid: %v", err)
+	}
+}
+
+func TestRemoveNodesTieBreaksToSmallestId(t *testing.T) {
+	// Path 0..6 minus node 3: components {0,1,2} and {4,5,6} are the
+	// same size; the one containing the smallest id must win.
+	g := pathGraph(7)
+	rr := g.RemoveNodes([]int32{3})
+	if rr.G.N() != 3 {
+		t.Fatalf("survivor has %d nodes, want 3", rr.G.N())
+	}
+	if rr.NewToOld[0] != 0 || rr.NewToOld[2] != 2 {
+		t.Fatalf("tie should keep {0,1,2}, got NewToOld = %v", rr.NewToOld)
+	}
+}
+
+func TestRemoveEdges(t *testing.T) {
+	// 6-cycle minus edges {0,1} and {3,4} splits into {1,2,3} and
+	// {4,5,0}; sizes tie, so {0,4,5} (contains node 0) wins.
+	g := cycleGraph(6)
+	rr := g.RemoveEdges([][2]int32{{1, 0}, {3, 4}, {3, 4}, {2, 4}}) // {2,4} absent: ignored
+	if rr.RemovedEdges != 2 {
+		t.Fatalf("RemovedEdges = %d, want 2", rr.RemovedEdges)
+	}
+	if len(rr.GoneEdges) != 2 {
+		t.Fatalf("GoneEdges = %v, want 2 normalised entries", rr.GoneEdges)
+	}
+	if rr.G.N() != 3 || rr.OldToNew[0] < 0 {
+		t.Fatalf("want the component containing node 0, got NewToOld = %v", rr.NewToOld)
+	}
+	if err := rr.G.Validate(); err != nil {
+		t.Fatalf("survivor graph invalid: %v", err)
+	}
+	if rr.G.M() != 2 {
+		t.Fatalf("survivor has %d edges, want 2 (path 4-5-0)", rr.G.M())
+	}
+}
+
+func TestRemoveEmptyDeltaIsIdentity(t *testing.T) {
+	g := cycleGraph(8)
+	rr := g.Remove(nil, nil)
+	if rr.G.N() != 8 || rr.G.M() != 8 || rr.RemovedNodes != 0 || rr.RemovedEdges != 0 || rr.Stranded != 0 {
+		t.Fatalf("empty delta changed the graph: %+v", rr)
+	}
+	for i, v := range rr.OldToNew {
+		if int(v) != i {
+			t.Fatalf("OldToNew[%d] = %d, want identity", i, v)
+		}
+	}
+}
+
+// TestRemoveRandomMatchesRebuild cross-checks the O(m) compaction against
+// a from-scratch Builder construction of the same surviving component.
+func TestRemoveRandomMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 50; trial++ {
+		n := 12 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.MustAddEdge(int32(rng.Intn(i)), int32(i)) // random spanning tree
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.MustAddEdge(int32(u), int32(v))
+			}
+		}
+		g := b.Build()
+		var nodes []int32
+		for u := 0; u < n; u++ {
+			if rng.Float64() < 0.2 {
+				nodes = append(nodes, int32(u))
+			}
+		}
+		var edges [][2]int32
+		for u := int32(0); int(u) < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if u < v && rng.Float64() < 0.1 {
+					edges = append(edges, [2]int32{u, v})
+				}
+			}
+		}
+		rr := g.Remove(nodes, edges)
+		if err := rr.G.Validate(); err != nil {
+			t.Fatalf("trial %d: survivor invalid: %v", trial, err)
+		}
+		// Rebuild the survivor naively through the Builder and compare
+		// adjacency node by node.
+		if rr.G.N() == 0 {
+			continue
+		}
+		nb := NewBuilder(rr.G.N())
+		for nu, u := range rr.NewToOld {
+			for _, v := range g.Neighbors(u) {
+				nv := rr.OldToNew[v]
+				if nv < 0 || nv <= int32(nu) {
+					continue
+				}
+				gone := false
+				for _, e := range rr.GoneEdges {
+					a, bb := e[0], e[1]
+					if (a == u && bb == v) || (a == v && bb == u) {
+						gone = true
+						break
+					}
+				}
+				if !gone {
+					nb.MustAddEdge(int32(nu), nv)
+				}
+			}
+		}
+		want := nb.Build()
+		if want.N() != rr.G.N() || want.M() != rr.G.M() {
+			t.Fatalf("trial %d: got %d nodes / %d edges, want %d / %d",
+				trial, rr.G.N(), rr.G.M(), want.N(), want.M())
+		}
+		for u := int32(0); int(u) < want.N(); u++ {
+			a, b := rr.G.Neighbors(u), want.Neighbors(u)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d: node %d degree %d, want %d", trial, u, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d: node %d adjacency %v, want %v", trial, u, a, b)
+				}
+			}
+		}
+		if !rr.G.Connected() {
+			t.Fatalf("trial %d: survivor not connected", trial)
+		}
+	}
+}
+
+// TestBFSFromReturnsDistanceArray pins the documented contract: the
+// result is a length-N distance array (−1 for unreachable), not a visit
+// order.
+func TestBFSFromReturnsDistanceArray(t *testing.T) {
+	// Path 0-1-2-3 plus isolated node 4.
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	g := b.Build()
+	dist := g.BFSFrom(1, nil)
+	if len(dist) != g.N() {
+		t.Fatalf("len(dist) = %d, want g.N() = %d", len(dist), g.N())
+	}
+	want := []int32{1, 0, 1, 2, -1}
+	for v, d := range dist {
+		if d != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d (distance array, not visit order: a visit order would start with the source id)", v, d, want[v])
+		}
+	}
+	// The restricted variant confines the traversal.
+	restrict := bitset.FromMembers(5, []int32{1, 2, 3})
+	rd := g.BFSFrom(1, restrict)
+	if rd[0] != -1 || rd[3] != 2 {
+		t.Fatalf("restricted dist = %v, want node 0 unreachable, node 3 at 2", rd)
+	}
+}

@@ -6,9 +6,12 @@ import (
 	"comparisondiag/internal/bitset"
 )
 
-// BFSFrom returns, for every node, its BFS distance from src, or -1 if
-// unreachable. When restrict is non-nil the traversal is confined to
-// nodes contained in restrict (src must be a member).
+// BFSFrom returns a distance array indexed by node id: dist[v] is v's
+// BFS (hop) distance from src, or -1 if v is unreachable. Note that the
+// result is NOT a visit order — the slice has length g.N() regardless of
+// how many nodes are reachable, and dist[v] says how far v is, not when
+// it was discovered. When restrict is non-nil the traversal is confined
+// to nodes contained in restrict (src must be a member).
 func (g *Graph) BFSFrom(src int32, restrict *bitset.Set) []int32 {
 	dist := make([]int32, g.n)
 	for i := range dist {

@@ -468,6 +468,90 @@ func batchSharedFinalCase(nw topology.Network, hyps int, share bool) Result {
 	})
 }
 
+// churnNodes picks k deterministic distinct nodes of g to remove.
+func churnNodes(n, k int) []int32 {
+	rng := rand.New(rand.NewSource(20260808))
+	seen := make(map[int32]bool, k)
+	nodes := make([]int32, 0, k)
+	for len(nodes) < k {
+		u := int32(rng.Intn(n))
+		if !seen[u] {
+			seen[u] = true
+			nodes = append(nodes, u)
+		}
+	}
+	return nodes
+}
+
+// fullBindCase measures the from-scratch alternative to incremental
+// rebinding: constructing Q_n and binding a fresh engine (graph build,
+// partition, structure detection). The churnrebind case on the same
+// topology is gated against a fraction of this.
+func fullBindCase(n int) Result {
+	return run(fmt.Sprintf("fullbind/Q%d", n), nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := core.NewEngine(topology.NewHypercube(n))
+			if eng.PartsErr() != nil {
+				b.Fatal(eng.PartsErr())
+			}
+		}
+	})
+}
+
+// churnRebindCase measures one incremental rebind end to end: the O(m)
+// compaction of a k-node removal plus the Survivor binding derivation
+// (partition survival, δ′, kernel re-verification). Survivor rather
+// than Rebind keeps the measured engine pristine across iterations;
+// the derivation work is identical.
+func churnRebindCase(n, k int) Result {
+	eng := core.NewEngine(topology.NewHypercube(n))
+	nodes := churnNodes(eng.Graph().N(), k)
+	return run(fmt.Sprintf("churnrebind/Q%d", n), nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rr := eng.Graph().RemoveNodes(nodes)
+			if _, _, err := eng.Survivor(rr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// churnDiagnoseCase measures the warm serving path of a rebound engine:
+// scratch-bound Engine.Diagnose on the surviving component after a
+// k-node removal. Steady state must stay allocation-free (the
+// allocs/op column is the regression gate) and exact under δ′.
+func churnDiagnoseCase(n, k int) Result {
+	eng := core.NewEngine(topology.NewHypercube(n))
+	rr := eng.Graph().RemoveNodes(churnNodes(eng.Graph().N(), k))
+	if _, err := eng.Rebind(rr); err != nil {
+		panic(err)
+	}
+	g := eng.Graph()
+	F := syndrome.RandomFaults(g.N(), eng.Diagnosability(), rand.New(rand.NewSource(1)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	sc := eng.AcquireScratch()
+	opt := core.Options{Scratch: sc}
+	op := func() int64 {
+		before := s.Lookups()
+		got, st, err := eng.DiagnoseOpts(s, opt)
+		if err != nil {
+			panic(err)
+		}
+		if !got.Equal(F) || !st.Degraded {
+			panic("misdiagnosis")
+		}
+		return s.Lookups() - before
+	}
+	return run(fmt.Sprintf("churndiagnose/Q%d", n), op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
 // graphBuildCase measures CSR construction of Q_n via the Builder.
 func graphBuildCase(n int) Result {
 	return run(fmt.Sprintf("graphbuild/Q%d", n), nil, func(b *testing.B) {
@@ -558,6 +642,14 @@ func Suite() *Report {
 		batchSharedFinalCase(topology.NewHypercube(14), 8, true),
 		batchSharedFinalCase(topology.NewHypercube(14), 8, false),
 	)
+	// PR 6: churn tolerance — a from-scratch bind of Q14, the
+	// incremental rebind after a 16-node removal (gated well under the
+	// full bind), and the warm degraded-mode serving path (0 allocs/op).
+	rep.Results = append(rep.Results,
+		fullBindCase(14),
+		churnRebindCase(14, 16),
+		churnDiagnoseCase(14, 16),
+	)
 	return rep
 }
 
@@ -575,6 +667,7 @@ func QuickSuite() *Report {
 		batchSharedFinalCase(topology.NewHypercube(10), 2, true),
 		campaignSweepCase(topology.NewHypercube(8), true),
 		graphBuildCase(10),
+		churnRebindCase(10, 4),
 	)
 	return rep
 }

@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+)
+
+// SurviveParts maps a Theorem 1 partition through a graph removal onto
+// the compacted surviving component g2. Parts untouched by the churn —
+// every node survives into the component and no removed edge ran inside
+// the part — are remapped wholesale: their connectivity and induced
+// degrees are preserved by construction, so no re-check is needed.
+// Touched parts are trimmed to their surviving nodes and re-validated
+// (connected in g2, induced minimum degree ≥ 2, at least two nodes);
+// parts that pass are kept as "repaired", the rest are dropped. The
+// caller applies its own minimum-size filter afterwards (the effective
+// fault bound is not known until the surviving part census exists).
+//
+// oldToNew is the removal's id map (-1 = gone); goneEdges lists the
+// explicitly removed edges in old ids. flat, when non-nil, supplies the
+// backing array for the surviving parts' node slices (grown as needed
+// and returned), so a rebinding engine reuses one allocation across
+// churn events. Part order is preserved; remapped node slices stay
+// ascending because the compaction assigns new ids in increasing old-id
+// order. Seeds follow their part when they survive and fall back to the
+// part's smallest surviving node otherwise.
+func SurviveParts(g2 *graph.Graph, parts []Part, oldToNew []int32, goneEdges [][2]int32, flat []int32) (out []Part, outFlat []int32, kept, repaired, dropped int) {
+	// Mark which parts the churn touched. Node churn: any part member
+	// with no new id. Edge churn: any removed edge with both endpoints
+	// in the same part (partOf covers exactly the partitioned nodes —
+	// padded partitions need not cover V).
+	touched := make([]bool, len(parts))
+	var partOf []int32
+	if len(goneEdges) > 0 {
+		partOf = make([]int32, len(oldToNew))
+		for i := range partOf {
+			partOf[i] = -1
+		}
+		for pi, p := range parts {
+			for _, u := range p.Nodes {
+				partOf[u] = int32(pi)
+			}
+		}
+		for _, e := range goneEdges {
+			if pu := partOf[e[0]]; pu >= 0 && pu == partOf[e[1]] {
+				touched[pu] = true
+			}
+		}
+	}
+	for pi, p := range parts {
+		if touched[pi] {
+			continue
+		}
+		for _, u := range p.Nodes {
+			if oldToNew[u] < 0 {
+				touched[pi] = true
+				break
+			}
+		}
+	}
+
+	// One backing array for every surviving part (the allocation-profile
+	// concern of rangeParts): pre-size it so mid-loop growth can never
+	// split the parts across two arrays.
+	total := 0
+	for _, p := range parts {
+		total += len(p.Nodes)
+	}
+	if cap(flat) < total {
+		flat = make([]int32, 0, total)
+	}
+	flat = flat[:0]
+	var mask *bitset.Set
+	for pi, p := range parts {
+		lo := len(flat)
+		for _, u := range p.Nodes {
+			if nu := oldToNew[u]; nu >= 0 {
+				flat = append(flat, nu)
+			}
+		}
+		nodes := flat[lo:len(flat):len(flat)]
+		if !touched[pi] {
+			out = append(out, Part{Nodes: nodes, Seed: oldToNew[p.Seed]})
+			kept++
+			continue
+		}
+		if len(nodes) < 2 {
+			flat = flat[:lo]
+			dropped++
+			continue
+		}
+		if mask == nil {
+			mask = bitset.New(g2.N())
+		}
+		ok := true
+		for _, u := range nodes {
+			mask.Add(int(u))
+		}
+		if !g2.ConnectedWithin(mask) {
+			ok = false
+		}
+		if ok {
+		degrees:
+			for _, u := range nodes {
+				deg := 0
+				for _, v := range g2.Neighbors(u) {
+					if mask.Contains(int(v)) {
+						deg++
+						if deg >= 2 {
+							continue degrees
+						}
+					}
+				}
+				ok = false
+				break
+			}
+		}
+		for _, u := range nodes {
+			mask.Remove(int(u))
+		}
+		if !ok {
+			flat = flat[:lo]
+			dropped++
+			continue
+		}
+		seed := oldToNew[p.Seed]
+		if seed < 0 {
+			seed = nodes[0]
+		}
+		out = append(out, Part{Nodes: nodes, Seed: seed})
+		repaired++
+	}
+	return out, flat, kept, repaired, dropped
+}

@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"testing"
+
+	"comparisondiag/internal/graph"
+)
+
+// TestSurvivePartsHypercube removes one node from Q6 and checks that the
+// untouched subcube parts are remapped wholesale while the touched
+// one is repaired or dropped.
+func TestSurvivePartsHypercube(t *testing.T) {
+	nw := NewHypercube(6)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	parts, err := nw.Parts(delta+1, delta+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := g.RemoveNodes([]int32{0})
+	out, _, kept, repaired, dropped := SurviveParts(rr.G, parts, rr.OldToNew, rr.GoneEdges, nil)
+	if kept != len(parts)-1 {
+		t.Fatalf("kept = %d, want %d untouched parts", kept, len(parts)-1)
+	}
+	if repaired+dropped != 1 {
+		t.Fatalf("repaired=%d dropped=%d, want exactly the one touched part handled", repaired, dropped)
+	}
+	// Every surviving part must satisfy the structural preconditions on
+	// the compacted graph (sizes checked by the caller, so minSize 2).
+	if err := ValidatePartition(rr.G, out, 2, len(out)); err != nil {
+		t.Fatalf("surviving parts invalid: %v", err)
+	}
+	// Remapped node slices must stay ascending.
+	for pi, p := range out {
+		for i := 1; i < len(p.Nodes); i++ {
+			if p.Nodes[i-1] >= p.Nodes[i] {
+				t.Fatalf("part %d not ascending: %v", pi, p.Nodes)
+			}
+		}
+	}
+}
+
+// TestSurvivePartsEdgeChurn removes an edge inside one part: only that
+// part may be re-validated; parts crossed by the edge removal but not
+// containing it stay kept.
+func TestSurvivePartsEdgeChurn(t *testing.T) {
+	nw := NewHypercube(6)
+	g := nw.Graph()
+	parts, err := nw.Parts(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An edge inside parts[0]: two nodes of the part that are adjacent.
+	var u, v int32 = -1, -1
+outer:
+	for _, a := range parts[0].Nodes {
+		for _, b := range parts[0].Nodes {
+			if a < b && g.HasEdge(a, b) {
+				u, v = a, b
+				break outer
+			}
+		}
+	}
+	if u < 0 {
+		t.Fatal("no intra-part edge found")
+	}
+	rr := g.RemoveEdges([][2]int32{{u, v}})
+	out, _, kept, repaired, dropped := SurviveParts(rr.G, parts, rr.OldToNew, rr.GoneEdges, nil)
+	if kept != len(parts)-1 || repaired+dropped != 1 {
+		t.Fatalf("kept=%d repaired=%d dropped=%d, want exactly parts[0] touched", kept, repaired, dropped)
+	}
+	if err := ValidatePartition(rr.G, out, 2, len(out)); err != nil {
+		t.Fatalf("surviving parts invalid: %v", err)
+	}
+}
+
+// TestSurvivePartsDisconnectedPartDropped splits a part into two pieces
+// (while the graph itself stays connected) and checks it is dropped, not
+// kept broken.
+func TestSurvivePartsDisconnectedPartDropped(t *testing.T) {
+	// Two triangles joined both directly (2-3) and through node 6. The
+	// part holds both triangles and relies on the 2-3 edge for its own
+	// connectivity; removing that edge leaves the graph connected via 6
+	// but the part's induced subgraph in two pieces.
+	b := graph.NewBuilder(7)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 0)
+	b.MustAddEdge(3, 4)
+	b.MustAddEdge(4, 5)
+	b.MustAddEdge(5, 3)
+	b.MustAddEdge(2, 3)
+	b.MustAddEdge(2, 6)
+	b.MustAddEdge(6, 3)
+	g := b.Build()
+	parts := []Part{{Nodes: []int32{0, 1, 2, 3, 4, 5}, Seed: 0}}
+	rr := g.RemoveEdges([][2]int32{{2, 3}})
+	if rr.G.N() != 7 {
+		t.Fatalf("graph should stay connected, survivor has %d nodes", rr.G.N())
+	}
+	out, _, kept, repaired, dropped := SurviveParts(rr.G, parts, rr.OldToNew, rr.GoneEdges, nil)
+	if kept != 0 || repaired != 0 || dropped != 1 || len(out) != 0 {
+		t.Fatalf("kept=%d repaired=%d dropped=%d out=%v, want the split part dropped", kept, repaired, dropped, out)
+	}
+}

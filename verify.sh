@@ -3,11 +3,11 @@
 # the differential, fuzz-seed-corpus and golden tiers — see
 # docs/testing.md), the race detector over the packages that exercise
 # concurrency (parallel part certification with sharded look-up
-# counters, campaign/distsim pools, graph probes), and the
-# perf-trajectory gate: every committed BENCH_<n>.json — BENCH_5 being
-# the latest — must not regress lookups/op on any case shared with its
-# predecessor (look-up counts are deterministic; ns/op is reported but
-# not gated).
+# counters, campaign/distsim pools, Diagnose-during-Rebind churn,
+# graph probes), and the perf-trajectory gate: every committed
+# BENCH_<n>.json — BENCH_6 being the latest — must not regress
+# lookups/op on any case shared with its predecessor (look-up counts
+# are deterministic; ns/op is reported but not gated).
 set -euo pipefail
 cd "$(dirname "$0")"
 
