@@ -45,9 +45,9 @@ func main() {
 
 	if *quick {
 		rep := perf.QuickSuite()
-		fmt.Printf("%-28s %14s %14s %10s\n", "case", "ns/op", "lookups/op", "allocs/op")
+		fmt.Printf("%-28s %14s %14s %10s %12s\n", "case", "ns/op", "lookups/op", "allocs/op", "bytes/op")
 		for _, r := range rep.Results {
-			fmt.Printf("%-28s %14.0f %14.0f %10d\n", r.Name, r.NsPerOp, r.LookupsPerOp, r.AllocsPerOp)
+			fmt.Printf("%-28s %14.0f %14.0f %10d %12d\n", r.Name, r.NsPerOp, r.LookupsPerOp, r.AllocsPerOp, r.BytesPerOp)
 		}
 		return
 	}
@@ -109,10 +109,13 @@ func loadReport(path string) (*perf.Report, error) {
 }
 
 // compareReports prints old-vs-new for every case shared by the two
-// reports and returns false when any of them regressed lookups/op.
-// Look-up counts are deterministic (fixed seeds, fixed suite), so the
-// gate is exact: strictly more consultations than the predecessor
-// baseline fails.
+// reports and returns false when any of them regressed a deterministic
+// column: lookups/op (fixed seeds, fixed suite, so strictly more
+// consultations than the predecessor baseline fails) and, for cases the
+// predecessor ran allocation-free, allocs/op — a warm path that was at
+// 0 allocs/op is a contract, not a measurement, and any allocation
+// appearing on it fails. ns/op and bytes/op are reported but not gated
+// (machine- and allocator-dependent).
 func compareReports(oldPath, newPath string) bool {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -129,7 +132,7 @@ func compareReports(oldPath, newPath string) bool {
 		oldBy[r.Name] = r
 	}
 	fmt.Printf("comparing %s -> %s\n", oldPath, newPath)
-	fmt.Printf("%-34s %14s %14s %9s %11s\n", "case", "lookups(old)", "lookups(new)", "verdict", "ns/op Δ")
+	fmt.Printf("%-34s %14s %14s %12s %12s %11s\n", "case", "lookups(old)", "lookups(new)", "allocs(o→n)", "verdict", "ns/op Δ")
 	ok := true
 	shared := 0
 	for _, nr := range newRep.Results {
@@ -143,18 +146,23 @@ func compareReports(oldPath, newPath string) bool {
 			verdict = "REGRESSED"
 			ok = false
 		}
+		if or.AllocsPerOp == 0 && nr.AllocsPerOp > 0 {
+			verdict = "ALLOCS"
+			ok = false
+		}
 		nsDelta := "-"
 		if or.NsPerOp > 0 {
 			nsDelta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerOp-or.NsPerOp)/or.NsPerOp)
 		}
-		fmt.Printf("%-34s %14.0f %14.0f %9s %11s\n", nr.Name, or.LookupsPerOp, nr.LookupsPerOp, verdict, nsDelta)
+		fmt.Printf("%-34s %14.0f %14.0f %12s %12s %11s\n", nr.Name, or.LookupsPerOp, nr.LookupsPerOp,
+			fmt.Sprintf("%d→%d", or.AllocsPerOp, nr.AllocsPerOp), verdict, nsDelta)
 	}
 	if shared == 0 {
 		fmt.Fprintln(os.Stderr, "benchtab: no shared cases between the two reports")
 		os.Exit(2)
 	}
 	if !ok {
-		fmt.Fprintln(os.Stderr, "benchtab: lookups/op regressed vs predecessor baseline")
+		fmt.Fprintln(os.Stderr, "benchtab: deterministic columns regressed vs predecessor baseline (lookups/op, or allocs on a previously allocation-free case)")
 	}
 	return ok
 }

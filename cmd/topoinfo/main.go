@@ -22,6 +22,19 @@ import (
 	"comparisondiag/internal/topology"
 )
 
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
 func main() {
 	netSpec := flag.String("net", "q:8", "network spec (see topology.Parse)")
 	verify := flag.Bool("verify", false, "compute exact κ (≤ ~3000 nodes) and δ (≤ 64 nodes)")
@@ -52,14 +65,28 @@ func main() {
 
 	// Algebraic structure: what the family declares (or a from-scratch
 	// probe finds), and which final-pass kernel an engine binds from it.
+	var declared graph.CayleyDescriptor
 	if cs, ok := nw.(topology.CayleyStructured); ok && cs.CayleyStructure() != nil {
-		fmt.Printf("structure       %s (declared)\n", cs.CayleyStructure())
+		declared = cs.CayleyStructure()
+		fmt.Printf("structure       %s (declared)\n", declared)
 	} else if desc, ok := graph.DetectXORCayley(g); ok {
 		fmt.Printf("structure       %s (detected)\n", desc)
 	} else {
 		fmt.Println("structure       none (node-dependent edge rule)")
 	}
 	fmt.Printf("engine kernel   %s\n", core.NewEngine(nw).KernelName())
+
+	// Adjacency memory model: what the CSR arrays cost at this size, and
+	// what an implicit (descriptor-bound, see core.NewCayleyEngine and
+	// docs/scale.md) engine would hold instead.
+	csrBytes := graph.CSRFootprintBytes(g.N(), g.M())
+	fmt.Printf("csr memory      %s (offset + target arrays)\n", fmtBytes(csrBytes))
+	if declared != nil {
+		if ca, err := graph.NewCayleyAdjacency(declared); err == nil {
+			fmt.Printf("implicit memory %s (descriptor only, %.0fx below CSR; node-count independent)\n",
+				fmtBytes(ca.FootprintBytes()), float64(csrBytes)/float64(ca.FootprintBytes()))
+		}
+	}
 
 	d := nw.Diagnosability()
 	parts, err := nw.Parts(d+1, d+1)

@@ -119,6 +119,13 @@ type (
 	// CayleyStructured is the optional Network extension that declares
 	// a CayleyDescriptor.
 	CayleyStructured = topology.CayleyStructured
+	// Adjacencer is the neighbour-enumeration interface the diagnosis
+	// layer runs against: a materialised *Graph (CSR) or an implicit
+	// descriptor-backed generator (see docs/scale.md).
+	Adjacencer = graph.Adjacencer
+	// CayleyAdjacency generates a Cayley graph's adjacency on the fly
+	// from its descriptor — no CSR arrays, O(degree) working memory.
+	CayleyAdjacency = graph.CayleyAdjacency
 )
 
 // Churn tolerance: incremental rebinding, degraded-mode diagnosis and
@@ -237,6 +244,20 @@ var (
 	NewEngine = core.NewEngine
 	// NewGraphEngine binds an Engine to an explicit graph and partition.
 	NewGraphEngine = core.NewGraphEngine
+	// NewCayleyEngine binds an implicit engine straight from a
+	// CayleyDescriptor — no CSR is ever materialised, so million-node
+	// instances bind in the memory of their scratch buffers (see
+	// docs/scale.md).
+	NewCayleyEngine = core.NewCayleyEngine
+	// NewCayleyAdjacency compiles a CayleyDescriptor into an implicit
+	// Adjacencer (validating its shape, not its edges).
+	NewCayleyAdjacency = graph.NewCayleyAdjacency
+	// CayleyParts computes the Theorem 1 partition of a declared Cayley
+	// family from its coset structure — no edge scan, O(parts) memory.
+	CayleyParts = topology.CayleyParts
+	// CSRFootprintBytes estimates the CSR bytes an n-node m-edge graph
+	// materialises; compare CayleyAdjacency.FootprintBytes.
+	CSRFootprintBytes = graph.CSRFootprintBytes
 	// Diagnose solves the fault diagnosis problem (Theorem 1).
 	Diagnose = core.Diagnose
 	// DiagnoseOpts is Diagnose with explicit Options.

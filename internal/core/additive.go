@@ -50,6 +50,15 @@ type addStep struct {
 	shift int      // tester of candidate v is v - shift
 	cond  []uint64 // digit condition on v, tail-masked to [0, n)
 	words []int32  // indices of non-zero cond words
+
+	// ids, when non-nil, replaces cond/words entirely: the step's
+	// candidates listed explicitly in ascending id order, probed one by
+	// one instead of word-at-a-time. The mixed-radix pruner emits this
+	// layout for sparse-but-spread conditions (few candidates scattered
+	// over many words), where per-word funnel shifts would mostly visit
+	// empty lanes. Candidate order — hence the look-up trace — is
+	// unchanged: both layouts enumerate the step's candidates ascending.
+	ids []int32
 }
 
 // stepWords fills each step's non-zero word index list and returns the
@@ -78,12 +87,12 @@ type additiveKernel struct {
 // bindAdditiveKernel binds the kernel to a graph declared (and
 // verified) to be a k-ary Dims-cube. Floor: ≥ 64 nodes; k ≥ 3 keeps the
 // two generator directions distinct.
-func bindAdditiveKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel {
+func bindAdditiveKernel(desc graph.CayleyDescriptor, a graph.Adjacencer) finalKernel {
 	ac, ok := desc.(graph.AdditiveCayley)
 	if !ok {
 		return nil
 	}
-	n := g.N()
+	n := a.N()
 	if n < 64 || ac.K < 3 || ac.Dims < 1 || ac.Order() != n {
 		return nil
 	}
@@ -152,7 +161,7 @@ func bindAdditiveKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel
 	}
 	// Every step funnel-shifts the frontier bitset across its live
 	// words, so a round costs the summed non-zero word count.
-	return &additiveKernel{name: "additive-rotate", steps: steps, threshold: sweepThresholdFor(stepWords(steps), g)}
+	return &additiveKernel{name: "additive-rotate", steps: steps, threshold: sweepThresholdFor(stepWords(steps), a)}
 }
 
 // Name implements finalKernel. The funnel-shift round is shared with
@@ -160,8 +169,8 @@ func bindAdditiveKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel
 // name.
 func (k *additiveKernel) Name() string { return k.name }
 
-func (k *additiveKernel) run(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult {
-	return runWordKernel(sc, g, l, u0, delta, k)
+func (k *additiveKernel) run(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult {
+	return runWordKernel(sc, a, l, u0, delta, k)
 }
 
 func (k *additiveKernel) sweepThreshold() int { return k.threshold }
@@ -176,6 +185,25 @@ func (k *additiveKernel) round(fw, uw []uint64, parent []int32, l *syndrome.Lazy
 	for si := range k.steps {
 		st := &k.steps[si]
 		t := st.shift
+		if st.ids != nil {
+			// Listed step: probe each candidate directly — is it still
+			// outside U, and is its tester v - shift in the frontier?
+			for _, v := range st.ids {
+				if uw[v>>6]&(1<<(uint32(v)&63)) != 0 {
+					continue
+				}
+				u := v - int32(t)
+				if fw[u>>6]&(1<<(uint32(u)&63)) == 0 {
+					continue
+				}
+				if l.Test(u, v, parent[u]) == 0 {
+					uw[v>>6] |= 1 << (uint32(v) & 63)
+					parent[v] = u
+					admitted++
+				}
+			}
+			continue
+		}
 		qoff := (-t) >> 6 // floor division: int shifts are arithmetic
 		r := uint((-t) & 63)
 		for _, wi32 := range st.words {

@@ -22,33 +22,43 @@ import (
 //
 // Completeness: a fault-free part always passes, because each tester and
 // both tested nodes are healthy.
-func CertifyPart(g *graph.Graph, s syndrome.Syndrome, nodes []int32, mask *bitset.Set) bool {
-	ok, _ := certifyScan(g, s, nodes, mask, nil)
+func CertifyPart(a graph.Adjacencer, s syndrome.Syndrome, nodes []int32, mask *bitset.Set) bool {
+	ok, _, _ := certifyScan(a, s, nodes, mask, nil, nil)
 	return ok
 }
 
-// certifyScan is CertifyPart with an external neighbour buffer: it
-// returns the verdict and the (possibly grown) buffer so hot paths can
-// keep it in a Scratch and stay allocation-free.
-func certifyScan(g *graph.Graph, s syndrome.Syndrome, nodes []int32, mask *bitset.Set, ns []int32) (bool, []int32) {
+// certifyScan is CertifyPart with external buffers: ns collects the
+// masked part-neighbours and nbuf holds generated neighbour lists when
+// the adjacency is implicit (a CSR serves zero-copy views and never
+// touches nbuf). Both (possibly grown) buffers are returned so hot
+// paths can keep them in a Scratch and stay allocation-free.
+func certifyScan(a graph.Adjacencer, s syndrome.Syndrome, nodes []int32, mask *bitset.Set, ns, nbuf []int32) (bool, []int32, []int32) {
+	g := graph.CSR(a)
 	for _, u := range nodes {
+		var adj []int32
+		if g != nil {
+			adj = g.Neighbors(u)
+		} else {
+			nbuf = a.AppendNeighbors(u, nbuf)
+			adj = nbuf
+		}
 		ns = ns[:0]
-		for _, v := range g.Neighbors(u) {
+		for _, v := range adj {
 			if mask.Contains(int(v)) {
 				ns = append(ns, v)
 			}
 		}
 		if len(ns) < 2 {
 			// Precondition violated: the certificate cannot vouch for u.
-			return false, ns
+			return false, ns, nbuf
 		}
 		for i := 0; i+1 < len(ns); i++ {
 			if s.Test(u, ns[i], ns[i+1]) == 1 {
-				return false, ns
+				return false, ns, nbuf
 			}
 		}
 	}
-	return true, ns
+	return true, ns, nbuf
 }
 
 // CertifyPartPaper runs the paper's own per-part certificate: a
@@ -59,14 +69,14 @@ func certifyScan(g *graph.Graph, s syndrome.Syndrome, nodes []int32, mask *bitse
 // parts whose BFS trees have ≤ δ internal nodes even when the part is
 // larger than δ; the ablation experiment A1 quantifies how often that
 // bites at the paper's prescribed part sizes.
-func CertifyPartPaper(g *graph.Graph, s syndrome.Syndrome, seed int32, delta int, mask *bitset.Set) *SetBuilderResult {
-	return certifyPaperInto(NewScratch(g.N()), g, s, seed, delta, mask)
+func CertifyPartPaper(a graph.Adjacencer, s syndrome.Syndrome, seed int32, delta int, mask *bitset.Set) *SetBuilderResult {
+	return certifyPaperInto(NewScratch(a.N()), a, s, seed, delta, mask)
 }
 
 // certifyPaperInto is CertifyPartPaper against a reusable Scratch; the
 // returned result (when non-nil) is a view into the scratch.
-func certifyPaperInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, seed int32, delta int, mask *bitset.Set) *SetBuilderResult {
-	r := SetBuilderInto(sc, g, s, seed, delta, mask)
+func certifyPaperInto(sc *Scratch, a graph.Adjacencer, s syndrome.Syndrome, seed int32, delta int, mask *bitset.Set) *SetBuilderResult {
+	r := SetBuilderInto(sc, a, s, seed, delta, mask)
 	if r.AllHealthy {
 		return r
 	}

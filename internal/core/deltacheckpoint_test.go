@@ -1,0 +1,176 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// TestDeltaCheckpointMatchesFullCopy pins the delta-encoded shared-final
+// checkpoint (the default since the sparse dirty-list layout landed)
+// against the pre-delta full-copy layout kept behind
+// BatchOptions.FullCheckpoint: on the same engine, hypothesis and
+// behaviour panel the two batches must agree member-for-member on fault
+// sets, errors, the whole Stats struct — including the SharedFinal*
+// adoption accounting — and the exact per-syndrome look-up counts.
+// Cases cover every final-pass driver (generic sweep, xor-cayley,
+// additive-rotate, mixed-radix) and the empty hypothesis whose prefix
+// is complete.
+func TestDeltaCheckpointMatchesFullCopy(t *testing.T) {
+	cases := []struct {
+		name    string
+		nw      topology.Network
+		generic bool
+	}{
+		{"q8-kernel", topology.NewHypercube(8), false},
+		{"q8-generic", topology.NewHypercube(8), true},
+		{"kary4x4-additive", topology.NewKAryNCube(4, 4), false},
+		{"akary4x4-mixedradix", topology.NewAugmentedKAryNCube(4, 4), false},
+		{"star6-generic", topology.NewStar(6), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := NewEngine(tc.nw)
+			g := tc.nw.Graph()
+			rng := rand.New(rand.NewSource(41))
+			loads := [][]int{{0}, {1}, {tc.nw.Diagnosability()}}
+			for trial := 0; trial < 3; trial++ {
+				loads = append(loads, []int{1 + rng.Intn(tc.nw.Diagnosability())})
+			}
+			for _, load := range loads {
+				F := syndrome.RandomFaults(g.N(), load[0], rng)
+				behaviors := sharedFinalBehaviors()
+				var sDelta, sFull []syndrome.Syndrome
+				for _, b := range behaviors {
+					sDelta = append(sDelta, syndrome.NewLazy(F, b))
+					sFull = append(sFull, syndrome.NewLazy(F, b))
+				}
+				base := BatchOptions{
+					ShareCertification: true, ShareFinalPrefix: true,
+					Options: Options{GenericFinal: tc.generic},
+				}
+				full := base
+				full.FullCheckpoint = true
+				got := eng.DiagnoseBatch(sDelta, base)
+				want := eng.DiagnoseBatch(sFull, full)
+				for i := range want {
+					if (got[i].Err == nil) != (want[i].Err == nil) {
+						t.Fatalf("|F|=%d member %d: err %v (delta) vs %v (full)", load[0], i, got[i].Err, want[i].Err)
+					}
+					if want[i].Err == nil && !got[i].Faults.Equal(want[i].Faults) {
+						t.Fatalf("|F|=%d member %d: fault sets differ between checkpoint layouts", load[0], i)
+					}
+					if got[i].Stats != want[i].Stats {
+						t.Fatalf("|F|=%d member %d: stats %+v (delta) vs %+v (full)", load[0], i, got[i].Stats, want[i].Stats)
+					}
+					if sDelta[i].Lookups() != sFull[i].Lookups() {
+						t.Fatalf("|F|=%d member %d: %d look-ups (delta) vs %d (full)",
+							load[0], i, sDelta[i].Lookups(), sFull[i].Lookups())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaCheckpointGoldenCorpus replays every committed golden
+// fixture (testdata/golden: frozen topology + fault set + adversary,
+// including the empty hypothesis and the beyond-δ refusal) through
+// shared-final batches under both checkpoint layouts. Member 0 of each
+// batch runs the fixture's own adversary — its fault set (or pinned
+// refusal) must still match the corpus — and every member must be
+// bit-identical between the delta and full-copy encodings: fault sets,
+// whole Stats struct, per-syndrome look-up counts.
+func TestDeltaCheckpointGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(goldenPath("*"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden fixtures found (%v)", err)
+	}
+	for _, path := range files {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fx goldenFixture
+			if err := json.Unmarshal(raw, &fx); err != nil {
+				t.Fatal(err)
+			}
+			nw, err := topology.Parse(fx.Net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := nw.Graph().N()
+			F := bitset.FromMembers(n, fx.Faults)
+			eng := NewEngine(nw)
+			panel := func() []syndrome.Syndrome {
+				ss := []syndrome.Syndrome{
+					syndrome.NewLazy(F, goldenBehavior(fx.Behavior, fx.BehaviorSeed)),
+				}
+				for _, b := range sharedFinalBehaviors() {
+					ss = append(ss, syndrome.NewLazy(F, b))
+				}
+				return ss
+			}
+			sDelta, sFull := panel(), panel()
+			base := BatchOptions{ShareCertification: true, ShareFinalPrefix: true}
+			full := base
+			full.FullCheckpoint = true
+			got := eng.DiagnoseBatch(sDelta, base)
+			want := eng.DiagnoseBatch(sFull, full)
+			for i := range want {
+				if (got[i].Err == nil) != (want[i].Err == nil) {
+					t.Fatalf("member %d: err %v (delta) vs %v (full)", i, got[i].Err, want[i].Err)
+				}
+				if want[i].Err == nil && !got[i].Faults.Equal(want[i].Faults) {
+					t.Fatalf("member %d: fault sets differ between checkpoint layouts", i)
+				}
+				if got[i].Stats != want[i].Stats {
+					t.Fatalf("member %d: stats %+v (delta) vs %+v (full)", i, got[i].Stats, want[i].Stats)
+				}
+				if sDelta[i].Lookups() != sFull[i].Lookups() {
+					t.Fatalf("member %d: %d look-ups (delta) vs %d (full)",
+						i, sDelta[i].Lookups(), sFull[i].Lookups())
+				}
+			}
+			switch {
+			case fx.WantErr != "":
+				if got[0].Err == nil || !strings.Contains(got[0].Err.Error(), fx.WantErr) {
+					t.Fatalf("fixture adversary: err %v, corpus pins %q", got[0].Err, fx.WantErr)
+				}
+			case got[0].Err != nil:
+				t.Fatalf("fixture adversary: unexpected error %v", got[0].Err)
+			case !got[0].Faults.Equal(bitset.FromMembers(n, fx.WantFaults)):
+				t.Fatalf("fixture adversary: fault set %v differs from corpus %v",
+					got[0].Faults, fx.WantFaults)
+			}
+		})
+	}
+}
+
+// TestFullCheckpointAgainstFreeFunctions runs the full-copy ablation
+// layout through the canonical shared-final contract checker, so both
+// checkpoint encodings — not just the default — stay pinned to the
+// paper-literal free functions.
+func TestFullCheckpointAgainstFreeFunctions(t *testing.T) {
+	nw := topology.NewHypercube(9)
+	g := nw.Graph()
+	eng := NewEngine(nw)
+	parts, err := eng.Parts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := parts[0].Seed ^ int32(g.N()-1)
+	F := syndrome.ClusterFaults(g, center, nw.Diagnosability())
+	checkSharedFinalGroup(t, nw, eng, F, BatchOptions{
+		ShareCertification: true, FullCheckpoint: true,
+	})
+}

@@ -212,9 +212,11 @@ func DiagnoseGraph(g *graph.Graph, delta int, parts []topology.Part, s syndrome.
 }
 
 // diagnoseInto is the allocation-free core of DiagnoseGraph; everything
-// it returns lives in sc.
-func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part, s syndrome.Syndrome, opt Options) (*bitset.Set, *Stats, error) {
-	sc.ensure(g.N())
+// it returns lives in sc. The adjacency may be CSR-backed or implicit
+// (graph.CayleyAdjacency, via Engine's implicit mode); results and
+// look-up counts are identical either way.
+func diagnoseInto(sc *Scratch, a graph.Adjacencer, delta int, parts []topology.Part, s syndrome.Syndrome, opt Options) (*bitset.Set, *Stats, error) {
+	sc.ensure(a.N())
 	stats := &sc.stats
 	*stats = Stats{Delta: delta, CertifiedPart: -1}
 	startLookups := s.Lookups()
@@ -235,13 +237,13 @@ func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part,
 		stats.PartsScanned = opt.shared.partsScanned
 		certified = opt.shared.certified
 	} else if workers := ClampWorkers(opt.Workers); workers > 1 {
-		certified = certifyParallel(g, s, candidates, delta, opt.Strategy, workers)
+		certified = certifyParallel(a, s, candidates, delta, opt.Strategy, workers)
 		stats.PartsScanned = len(candidates) // parallel scan may touch all
 	} else {
 		certified = -1
 		for i, p := range candidates {
 			stats.PartsScanned = i + 1
-			if certifyOne(sc, g, s, p, delta, opt.Strategy) {
+			if certifyOne(sc, a, s, p, delta, opt.Strategy) {
 				certified = i
 				break
 			}
@@ -260,8 +262,11 @@ func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part,
 	finalWorkers := ClampWorkers(opt.FinalWorkers)
 	var final *SetBuilderResult
 	var resumed *finalPrefix
-	if finalWorkers > 1 && g.N() >= parallelFinalMinNodes {
-		final = setBuilderParallelInto(sc, g, s, seed, delta, nil, finalWorkers)
+	// The parallel final pass splits CSR edge blocks across workers; an
+	// implicit adjacency falls through to the sequential passes instead
+	// of paying per-worker neighbour generation.
+	if csr := graph.CSR(a); finalWorkers > 1 && a.N() >= parallelFinalMinNodes && csr != nil {
+		final = setBuilderParallelInto(sc, csr, s, seed, delta, nil, finalWorkers)
 	} else if opt.fastFinal {
 		if lz, ok := s.(*syndrome.Lazy); ok {
 			// Checkpoint plumbing rides on the scratch so every final
@@ -277,15 +282,15 @@ func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part,
 			}
 			sc.prefixRec = opt.recordPrefix
 			if opt.kernel != nil {
-				final = opt.kernel.run(sc, g, lz, seed, delta)
+				final = opt.kernel.run(sc, a, lz, seed, delta)
 			} else {
-				final = setBuilderLazyInto(sc, g, lz, seed, delta)
+				final = setBuilderLazyInto(sc, a, lz, seed, delta)
 			}
 			sc.prefixRec, sc.prefixRes = nil, nil
 		}
 	}
 	if final == nil {
-		final = SetBuilderInto(sc, g, s, seed, delta, nil)
+		final = SetBuilderInto(sc, a, s, seed, delta, nil)
 	}
 	stats.FinalLookups = s.Lookups() - beforeFinal
 	if resumed != nil {
@@ -296,7 +301,7 @@ func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part,
 	stats.HealthyCount = final.U.Count()
 
 	faults := sc.faultsBuf()
-	g.NeighborsOfSetInto(final.U, faults)
+	sc.nbuf = graph.NeighborsOfSetOnInto(a, final.U, faults, sc.nbuf)
 	stats.FaultCount = faults.Count()
 	stats.TotalLookups = s.Lookups() - startLookups
 	if stats.FaultCount > delta {
@@ -309,16 +314,16 @@ func diagnoseInto(sc *Scratch, g *graph.Graph, delta int, parts []topology.Part,
 // reusable mask (populated and cleared member-wise — O(|part|), not
 // O(n)) and neighbour buffer. Both the sequential scan and the
 // parallel workers go through here, so the two paths cannot diverge.
-func certifyOne(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, p topology.Part, delta int, strat Strategy) bool {
+func certifyOne(sc *Scratch, a graph.Adjacencer, s syndrome.Syndrome, p topology.Part, delta int, strat Strategy) bool {
 	mask := sc.maskBuf()
 	for _, v := range p.Nodes {
 		mask.Add(int(v))
 	}
 	ok := false
 	if strat == StrategyPaper {
-		ok = certifyPaperInto(sc, g, s, p.Seed, delta, mask) != nil
+		ok = certifyPaperInto(sc, a, s, p.Seed, delta, mask) != nil
 	} else {
-		ok, sc.ns = certifyScan(g, s, p.Nodes, mask, sc.ns)
+		ok, sc.ns, sc.nbuf = certifyScan(a, s, p.Nodes, mask, sc.ns, sc.nbuf)
 	}
 	for _, v := range p.Nodes {
 		mask.Remove(int(v))
@@ -332,7 +337,7 @@ func certifyOne(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, p topology.Par
 // certified. Each worker draws its own pooled Scratch and — when the
 // syndrome supports sharding — a per-worker Shard view, so look-up
 // counting stays exact without a contended atomic per Test.
-func certifyParallel(g *graph.Graph, s syndrome.Syndrome, parts []topology.Part, delta int, strat Strategy, workers int) int {
+func certifyParallel(a graph.Adjacencer, s syndrome.Syndrome, parts []topology.Part, delta int, strat Strategy, workers int) int {
 	best := atomic.Int64{}
 	best.Store(int64(len(parts)))
 	var wg sync.WaitGroup
@@ -352,7 +357,7 @@ func certifyParallel(g *graph.Graph, s syndrome.Syndrome, parts []topology.Part,
 				// themselves (the ForConcurrent contract).
 				ws = syndrome.ForConcurrent(s)
 			}
-			sc := getScratch(g.N())
+			sc := getScratch(a.N())
 			defer putScratch(sc)
 			for {
 				i := idx.Add(1)
@@ -362,7 +367,7 @@ func certifyParallel(g *graph.Graph, s syndrome.Syndrome, parts []topology.Part,
 				if i >= best.Load() {
 					continue
 				}
-				if certifyOne(sc, g, ws, parts[i], delta, strat) {
+				if certifyOne(sc, a, ws, parts[i], delta, strat) {
 					for {
 						cur := best.Load()
 						if i >= cur || best.CompareAndSwap(cur, i) {

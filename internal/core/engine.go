@@ -53,8 +53,9 @@ type Engine struct {
 // (current) graph. All fields are immutable after publication except the
 // tight/tightErr maps, which grow lazily under Engine.mu.
 type binding struct {
-	nw    topology.Network // nil for graph-bound engines
-	g     *graph.Graph
+	nw    topology.Network // nil for graph-bound and implicit engines
+	g     *graph.Graph     // nil for implicit (descriptor-backed) engines
+	adj   graph.Adjacencer // the served adjacency: g, or an implicit generator
 	delta int
 
 	// baseDelta is the δ of the original bind; connBudget is the
@@ -100,6 +101,7 @@ func NewEngine(nw topology.Network) *Engine {
 		delta:      nw.Diagnosability(),
 		connBudget: nw.Connectivity(),
 	}
+	b.adj = b.g
 	b.baseDelta = b.delta
 	b.parts, b.partsErr = nw.Parts(b.delta+1, b.delta+1)
 	b.kernel, b.desc = bindStructure(nw, b.g)
@@ -159,6 +161,9 @@ func (e *Engine) BindCayley(desc graph.CayleyDescriptor) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	b := e.bnd.Load()
+	if b.g == nil {
+		return errors.New("core: implicit engine already is its descriptor binding; BindCayley needs a CSR-bound engine")
+	}
 	if err := graph.VerifyCayley(b.g, desc); err != nil {
 		return err
 	}
@@ -179,13 +184,64 @@ func (e *Engine) BindCayley(desc graph.CayleyDescriptor) error {
 // with BindCayley, which verifies the claim before trusting it.
 func NewGraphEngine(g *graph.Graph, delta int, parts []topology.Part) *Engine {
 	e := &Engine{name: "graph"}
-	e.bnd.Store(&binding{g: g, delta: delta, baseDelta: delta, connBudget: delta, parts: parts})
+	e.bnd.Store(&binding{g: g, adj: g, delta: delta, baseDelta: delta, connBudget: delta, parts: parts})
 	return e
 }
 
+// NewCayleyEngine binds an engine directly from a Cayley descriptor —
+// the implicit-adjacency mode: no CSR is ever materialised, neighbours
+// are generated algebraically on demand (graph.CayleyAdjacency), and
+// the Theorem 1 partition is computed from the descriptor's coset
+// structure (topology.CayleyParts) instead of an edge scan. Memory is
+// O(descriptor) plus the diagnosis scratch, independent of edge count —
+// a Q20 hypercube binds in kilobytes where the CSR's targets array
+// alone is ~80 MB — and results and syndrome look-up counts are
+// bit-identical to a CSR-bound engine on the same graph.
+//
+// delta is the fault bound δ served, which for the declared families is
+// the graph's connectivity (e.g. n for Q_n). The descriptor is shape-
+// validated (graph.NewCayleyAdjacency); a malformed descriptor returns
+// an error. A coset partition that cannot be derived for the requested
+// bound is recorded exactly like NewEngine records a partition error —
+// construction still succeeds and every Diagnose reports it.
+//
+// Implicit engines serve Diagnose/DiagnoseOpts/DiagnoseBatch in full
+// (including FaultBound tightening, sharing, and result caches). They
+// do not support Rebind/Survivor (churn removal is defined against a
+// CSR) or BindCayley (the structure is the binding), and Graph()
+// returns nil; parallel final passes fall back to the sequential,
+// look-up-exact path.
+func NewCayleyEngine(desc graph.CayleyDescriptor, delta int) (*Engine, error) {
+	ca, err := graph.NewCayleyAdjacency(desc)
+	if err != nil {
+		return nil, err
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("core: implicit bind needs a positive fault bound, got %d", delta)
+	}
+	b := &binding{
+		adj:        ca,
+		delta:      delta,
+		baseDelta:  delta,
+		connBudget: delta,
+		desc:       desc,
+	}
+	b.parts, b.partsErr = topology.CayleyParts(desc, delta+1, delta+1)
+	b.kernel = bindFinalKernel(desc, ca)
+	e := &Engine{name: desc.String()}
+	e.bnd.Store(b)
+	return e, nil
+}
+
 // Graph returns the bound graph (the surviving component after a
-// Rebind).
+// Rebind), or nil for implicit (descriptor-backed) engines, which never
+// materialise one — see Adjacency for the always-available view.
 func (e *Engine) Graph() *graph.Graph { return e.bnd.Load().g }
+
+// Adjacency returns the adjacency the engine serves: the CSR graph for
+// ordinary engines, or the implicit generator (*graph.CayleyAdjacency)
+// for descriptor-bound ones.
+func (e *Engine) Adjacency() graph.Adjacencer { return e.bnd.Load().adj }
 
 // Network returns the bound network, or nil for graph-bound engines.
 // After a Rebind the network still identifies the original topology the
@@ -225,7 +281,8 @@ func (e *Engine) PartsErr() error { return e.bnd.Load().partsErr }
 // remain valid for every tighter bound (sizes and count only need to
 // reach bound+1 ≤ δ′+1).
 func (e *Engine) partsFor(b *binding, bound int) ([]topology.Part, error) {
-	if bound >= b.delta || b.nw == nil || b.degraded {
+	implicit := b.nw == nil && b.g == nil && b.desc != nil
+	if bound >= b.delta || (b.nw == nil && !implicit) || b.degraded {
 		return b.parts, b.partsErr
 	}
 	e.mu.Lock()
@@ -233,7 +290,13 @@ func (e *Engine) partsFor(b *binding, bound int) ([]topology.Part, error) {
 	if p, ok := b.tight[bound]; ok {
 		return p, b.tightErr[bound]
 	}
-	p, err := b.nw.Parts(bound+1, bound+1)
+	var p []topology.Part
+	var err error
+	if implicit {
+		p, err = topology.CayleyParts(b.desc, bound+1, bound+1)
+	} else {
+		p, err = b.nw.Parts(bound+1, bound+1)
+	}
 	if b.tight == nil {
 		b.tight = make(map[int][]topology.Part)
 		b.tightErr = make(map[int]error)
@@ -249,7 +312,7 @@ func (e *Engine) partsFor(b *binding, bound int) ([]topology.Part, error) {
 // the pool. Scratches survive a Rebind: they resize lazily to whichever
 // graph the next call serves.
 func (e *Engine) AcquireScratch() *Scratch {
-	n := e.bnd.Load().g.N()
+	n := e.bnd.Load().adj.N()
 	if v := e.pool.Get(); v != nil {
 		sc := v.(*Scratch)
 		sc.ensure(n)
@@ -327,11 +390,11 @@ func (e *Engine) diagnose(b *binding, s syndrome.Syndrome, opt Options) (*bitset
 	var stats *Stats
 	var err error
 	if opt.Scratch != nil {
-		faults, stats, err = diagnoseInto(opt.Scratch, b.g, delta, parts, s, opt)
+		faults, stats, err = diagnoseInto(opt.Scratch, b.adj, delta, parts, s, opt)
 	} else {
 		sc := e.AcquireScratch()
-		sc.ensure(b.g.N()) // the pool may hand back a scratch sized for a newer binding
-		faults, stats, err = diagnoseInto(sc, b.g, delta, parts, s, opt)
+		sc.ensure(b.adj.N()) // the pool may hand back a scratch sized for a newer binding
+		faults, stats, err = diagnoseInto(sc, b.adj, delta, parts, s, opt)
 		faults, stats = cloneResults(faults, stats)
 		e.ReleaseScratch(sc)
 	}
@@ -351,7 +414,7 @@ func (e *Engine) diagnose(b *binding, s syndrome.Syndrome, opt Options) (*bitset
 // never aliased.
 func (e *Engine) serveCached(b *binding, ent *cacheEntry, sc *Scratch) (*bitset.Set, *Stats, error) {
 	if sc != nil {
-		sc.ensure(b.g.N())
+		sc.ensure(b.adj.N())
 		sc.stats = ent.stats
 		if ent.resFaults == nil {
 			return nil, &sc.stats, ent.err
@@ -479,6 +542,15 @@ type BatchOptions struct {
 	// FinalWorkers > 1 final passes (on graphs large enough to engage
 	// the parallel pass) record no checkpoint and members run in full.
 	ShareFinalPrefix bool
+	// FullCheckpoint makes ShareFinalPrefix checkpoints use the
+	// pre-delta dense layout: full copies of the U words and the whole
+	// parent array per group, restored wholesale per member. The default
+	// (false) records only the words and tree entries the prefix
+	// actually touched — O(touched + |U|) instead of O(n) per snapshot
+	// and restore, which is what keeps million-node batches affordable.
+	// Results and look-up counts are identical either way; the flag
+	// exists for the ablation benchmark and the bit-identity tests.
+	FullCheckpoint bool
 	// Options applies to every diagnosis in the batch. Scratch is
 	// ignored (workers bind their own); Workers inside Options still
 	// selects parallel part certification per syndrome and composes
@@ -580,7 +652,7 @@ func (e *Engine) diagnoseGrouped(b *binding, pool BatchPool, syndromes []syndrom
 		recFor = make(map[int]*finalPrefix)
 		for _, grp := range groups {
 			if len(grp.members) > 0 {
-				grp.fp = &finalPrefix{}
+				grp.fp = &finalPrefix{full: bopt.FullCheckpoint}
 				recFor[grp.rep] = grp.fp
 			}
 		}
@@ -631,7 +703,7 @@ func (e *Engine) diagnoseGrouped(b *binding, pool BatchPool, syndromes []syndrom
 // copies the results out of it.
 func (e *Engine) diagnoseOne(b *binding, s syndrome.Syndrome, opt Options, sc *Scratch) BatchResult {
 	opt.Scratch = sc
-	sc.ensure(b.g.N())
+	sc.ensure(b.adj.N())
 	faults, stats, err := e.diagnose(b, s, opt)
 	var r BatchResult
 	if faults != nil {

@@ -34,8 +34,9 @@ import (
 // interleaving across different v differs, which is unobservable for
 // any deterministic syndrome (the Syndrome contract: repeated
 // consultation of an entry yields the same answer).
-func setBuilderLazyInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult {
-	sc.ensure(g.N())
+func setBuilderLazyInto(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult {
+	sc.ensure(a.N())
+	csr := graph.CSR(a)
 	sc.resetTree()
 	res := &sc.res
 	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
@@ -65,14 +66,20 @@ func setBuilderLazyInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32,
 		res.U.Add(int(u0))
 		uCount = 1
 		rec := sc.prefixRec
-		if rec != nil && !rec.begin(g, l.Faults(), u0) {
+		if rec != nil && !rec.begin(a, l.Faults(), u0) {
 			rec = nil // even the pair scan is hazardous: no shareable prefix
 			sc.prefixRec = nil
 		}
 
 		// Build U_1 exactly as the reference loop: u0 tests unordered pairs
 		// of its neighbours; a 0 result certifies both participants at once.
-		adj := g.Neighbors(u0)
+		var adj []int32
+		if csr != nil {
+			adj = csr.Neighbors(u0)
+		} else {
+			sc.nbuf = a.AppendNeighbors(u0, sc.nbuf)
+			adj = sc.nbuf
+		}
 		frontier = sc.frontier[:0]
 		next = sc.next[:0]
 		for i := 0; i < len(adj); i++ {
@@ -103,9 +110,12 @@ func setBuilderLazyInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32,
 		}
 	}
 
-	n := g.N()
+	n := a.N()
 	added := sc.added
-	offs, tgts := g.Adjacency()
+	var offs, tgts []int32
+	if csr != nil {
+		offs, tgts = csr.Adjacency()
+	}
 	uw := res.U.Words()
 	parent := res.Parent
 	// The dense branch tests each candidate's frontier neighbours in
@@ -132,8 +142,14 @@ func setBuilderLazyInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32,
 			for _, u := range frontier {
 				tu := parent[u]
 				contributed := false
-				for ai, end := offs[u], offs[u+1]; ai < end; ai++ {
-					v := tgts[ai]
+				var nbrs []int32
+				if csr != nil {
+					nbrs = tgts[offs[u]:offs[u+1]]
+				} else {
+					sc.nbuf = a.AppendNeighbors(u, sc.nbuf)
+					nbrs = sc.nbuf
+				}
+				for _, v := range nbrs {
 					if uw[v>>6]&(1<<(uint(v)&63)) != 0 {
 						continue
 					}
@@ -177,8 +193,14 @@ func setBuilderLazyInto(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32,
 				for inv != 0 {
 					v := int32(wi<<6 + bits.TrailingZeros64(inv))
 					inv &= inv - 1
-					for ai, end := offs[v], offs[v+1]; ai < end; ai++ {
-						u := tgts[ai]
+					var nbrs []int32
+					if csr != nil {
+						nbrs = tgts[offs[v]:offs[v+1]]
+					} else {
+						sc.nbuf = a.AppendNeighbors(v, sc.nbuf)
+						nbrs = sc.nbuf
+					}
+					for _, u := range nbrs {
 						if fw[u>>6]&(1<<(uint(u)&63)) == 0 {
 							continue
 						}

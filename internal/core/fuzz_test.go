@@ -202,7 +202,14 @@ func FuzzMixedRadixSteps(f *testing.F) {
 			var got []int
 			for si := range steps {
 				st := &steps[si]
-				if st.cond[v>>6]&(1<<(uint(v)&63)) == 0 {
+				// The pruner may have rewritten the step to an explicit
+				// candidate list (see addStep.ids); membership is then a
+				// search in the ascending ids instead of a mask probe.
+				if st.ids != nil {
+					if _, ok := slices.BinarySearch(st.ids, int32(v)); !ok {
+						continue
+					}
+				} else if st.cond[v>>6]&(1<<(uint(v)&63)) == 0 {
 					continue
 				}
 				u := v - st.shift

@@ -20,7 +20,7 @@ type finalKernel interface {
 	// Name is the observability tag reported by Engine.KernelName and
 	// the CLI tools, e.g. "xor-cayley[multi-bit]".
 	Name() string
-	run(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult
+	run(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult
 }
 
 // kernelBinder is one registry entry: bind inspects a descriptor and
@@ -28,7 +28,7 @@ type finalKernel interface {
 // meets the kernel's floor), or nil to pass.
 type kernelBinder struct {
 	family string
-	bind   func(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel
+	bind   func(desc graph.CayleyDescriptor, a graph.Adjacencer) finalKernel
 }
 
 // finalKernelRegistry is consulted in priority order at engine bind
@@ -50,12 +50,12 @@ var finalKernelRegistry = []kernelBinder{
 // against the graph first (graph.VerifyCayley, or a detection probe):
 // binders trust the descriptor's shape claims beyond cheap sanity
 // checks.
-func bindFinalKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel {
+func bindFinalKernel(desc graph.CayleyDescriptor, a graph.Adjacencer) finalKernel {
 	if desc == nil {
 		return nil
 	}
 	for _, kb := range finalKernelRegistry {
-		if k := kb.bind(desc, g); k != nil {
+		if k := kb.bind(desc, a); k != nil {
 			return k
 		}
 	}

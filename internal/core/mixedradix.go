@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math/bits"
 	"sort"
 
 	"comparisondiag/internal/graph"
@@ -53,12 +55,12 @@ const mixedRadixMaxSteps = 4096
 // bindMixedRadixKernel binds the compiled schedule to a graph declared
 // (and verified) to be a mixed-radix Cayley graph. Floor: ≥ 64 nodes,
 // like every word kernel.
-func bindMixedRadixKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel {
+func bindMixedRadixKernel(desc graph.CayleyDescriptor, a graph.Adjacencer) finalKernel {
 	mr, ok := desc.(graph.MixedRadixCayley)
 	if !ok {
 		return nil
 	}
-	n := g.N()
+	n := a.N()
 	dims := len(mr.Radices)
 	if n < 64 || dims < 1 || len(mr.Gens) == 0 || mr.Order() != n {
 		return nil
@@ -172,10 +174,72 @@ func bindMixedRadixKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKern
 	// Descending shift = ascending tester id per candidate (see the
 	// file comment); stable to keep binding deterministic.
 	sort.SliceStable(steps, func(i, j int) bool { return steps[i].shift > steps[j].shift })
+
+	// Schedule pruner. First merge adjacent equal-shift steps: their
+	// conditions are disjoint — for one generator, exactly one borrow
+	// pattern fits a candidate; across generators, a candidate v
+	// satisfying two equal-shift conditions would make the one tester
+	// v - shift the digit-wise difference by both generators, forcing
+	// them equal — so OR-ing the conditions preserves the candidate set
+	// and, shifts being equal, the tester order, while one funnel pass
+	// serves what were several. Equal shifts are common: the balanced
+	// digit coefficients g_d - [borrow]·K_d are not a unique
+	// representation (e.g. 2·1 = -1·1 + 1·3 in radix 3), and the
+	// augmented cubes' run generators collide with their unit
+	// generators' wraps, merging ~25% of AQ(6,3)'s raw schedule.
+	merged := 0
+	out := steps[:0]
+	for _, st := range steps {
+		if len(out) > 0 && out[len(out)-1].shift == st.shift {
+			prev := &out[len(out)-1]
+			for wi := range prev.cond {
+				prev.cond[wi] |= st.cond[wi]
+			}
+			merged++
+			continue
+		}
+		out = append(out, st)
+	}
+	steps = out
+
+	// Then prune by condition density: a step whose candidates are few
+	// but scattered across many words pays a funnel shift per live word
+	// to test almost nothing. Such steps switch to an explicit ascending
+	// candidate list probed one id at a time (see addStep.ids); the
+	// enumeration order per step is unchanged, so the look-up trace is
+	// bit-identical either way.
+	listed := 0
+	cost := 0
+	for si := range steps {
+		st := &steps[si]
+		st.words = st.words[:0]
+		pc := 0
+		for wi, w := range st.cond {
+			if w != 0 {
+				st.words = append(st.words, int32(wi))
+				pc += bits.OnesCount64(w)
+			}
+		}
+		if 2*pc <= 3*len(st.words) {
+			ids := make([]int32, 0, pc)
+			for _, wi := range st.words {
+				for w := st.cond[wi]; w != 0; w &= w - 1 {
+					ids = append(ids, wi<<6+int32(bits.TrailingZeros64(w)))
+				}
+			}
+			st.ids = ids
+			st.cond, st.words = nil, nil
+			cost += pc
+			listed++
+		} else {
+			cost += len(st.words)
+		}
+	}
 	return &additiveKernel{
-		name:      "additive-rotate[mixed-radix]",
+		name: fmt.Sprintf("additive-rotate[mixed-radix,steps=%d,merged=%d,listed=%d]",
+			len(steps), merged, listed),
 		steps:     steps,
-		threshold: mixedRadixThreshold(stepWords(steps), len(steps), g),
+		threshold: mixedRadixThreshold(cost, len(steps), a),
 	}
 }
 
@@ -189,9 +253,9 @@ func bindMixedRadixKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKern
 // corrections only move the round-path choice — every path is
 // result- and look-up-identical (see runWordKernel), so a miscalibrated
 // threshold costs nanoseconds, never answers.
-func mixedRadixThreshold(cost, steps int, g *graph.Graph) int {
-	words := (g.N() + 63) / 64
-	deg := g.MaxDegree()
+func mixedRadixThreshold(cost, steps int, a graph.Adjacencer) int {
+	words := (a.N() + 63) / 64
+	deg := a.MaxDegree()
 	if deg == 0 {
 		return words
 	}

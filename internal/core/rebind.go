@@ -147,6 +147,9 @@ func (e *Engine) Survivor(rr *graph.Removal) (*Engine, *RebindReport, error) {
 // binding b. Pure with respect to b (shared slices are never written),
 // so concurrent readers of b are unaffected.
 func deriveBinding(b *binding, rr *graph.Removal) (*binding, *RebindReport, error) {
+	if b.g == nil {
+		return nil, nil, errors.New("core: implicit (descriptor-backed) engines cannot rebind — churn removals are defined against a materialised graph")
+	}
 	if len(rr.OldToNew) != b.g.N() {
 		return nil, nil, fmt.Errorf("core: removal maps %d nodes but the engine's graph has %d (removal must be produced from Engine.Graph())", len(rr.OldToNew), b.g.N())
 	}
@@ -163,6 +166,7 @@ func deriveBinding(b *binding, rr *graph.Removal) (*binding, *RebindReport, erro
 	nb := &binding{
 		nw:        b.nw,
 		g:         g2,
+		adj:       g2,
 		baseDelta: b.baseDelta,
 		epoch:     b.epoch + 1,
 	}

@@ -38,6 +38,7 @@ type Scratch struct {
 	fset         *bitset.Set // frontier membership for inverted-scan rounds
 	prev         []uint64    // round-start U snapshot (XOR-Cayley kernel)
 	ns           []int32
+	nbuf         []int32 // neighbour-generation buffer (implicit adjacency)
 	faults       *bitset.Set
 	stats        Stats
 
@@ -75,6 +76,7 @@ func (sc *Scratch) init(n int) {
 	sc.fset = nil
 	sc.prev = nil
 	sc.ns = sc.ns[:0]
+	sc.nbuf = sc.nbuf[:0]
 	sc.faults = nil
 }
 

@@ -59,12 +59,27 @@ func SetBuilder(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restri
 }
 
 // SetBuilderInto is SetBuilder running entirely inside the given
-// Scratch: on a warm scratch (capacity matching g, frontier buffers
-// grown by earlier runs) it performs zero heap allocations. The result
-// — including U, Parent and Contributors — is a view into the scratch,
-// valid until the scratch's next use; see Scratch for the contract.
-func SetBuilderInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set) *SetBuilderResult {
-	sc.ensure(g.N())
+// Scratch: on a warm scratch (capacity matching the graph, frontier
+// buffers grown by earlier runs) it performs zero heap allocations. The
+// result — including U, Parent and Contributors — is a view into the
+// scratch, valid until the scratch's next use; see Scratch for the
+// contract.
+//
+// The adjacency may be CSR-backed (zero-copy neighbour views) or an
+// implicit generator (graph.CayleyAdjacency); neighbour lists are
+// generated into a scratch buffer in the latter case, and the test
+// order — hence the look-up count — is identical either way because
+// both enumerate neighbours in ascending id order.
+func SetBuilderInto(sc *Scratch, a graph.Adjacencer, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set) *SetBuilderResult {
+	sc.ensure(a.N())
+	csr := graph.CSR(a)
+	neigh := func(u int32) []int32 {
+		if csr != nil {
+			return csr.Neighbors(u)
+		}
+		sc.nbuf = a.AppendNeighbors(u, sc.nbuf)
+		return sc.nbuf
+	}
 	sc.resetTree()
 	res := &sc.res
 	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
@@ -77,7 +92,7 @@ func SetBuilderInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0 int32, 
 
 	// Build U_1: u0 tests unordered pairs of its neighbours; a 0 result
 	// certifies both participants at once.
-	adj := g.Neighbors(u0)
+	adj := neigh(u0)
 	frontier := sc.frontier[:0]
 	next := sc.next[:0]
 	for i := 0; i < len(adj); i++ {
@@ -123,7 +138,7 @@ func SetBuilderInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0 int32, 
 		admitted := 0
 		for _, u := range frontier {
 			tu := res.Parent[u]
-			for _, v := range g.Neighbors(u) {
+			for _, v := range neigh(u) {
 				if res.U.Contains(int(v)) || !in(v) {
 					continue
 				}

@@ -37,18 +37,37 @@ import (
 // Concurrency: a checkpoint is written once by the representative's
 // worker (phase A of diagnoseGrouped) and read concurrently by member
 // workers (phase B); the phases are separated by a pool barrier.
+// Encoding. U grows from empty (the caller resets the tree before the
+// pass), so the checkpoint state is fully described by the non-zero U
+// words and the parents of their set bits. The default layout is that
+// sparse delta encoding — dirtyIdx/dirtyW list the touched words,
+// parents packs the tree entries of their set bits in ascending node
+// order — which costs O(touched words + |U|) to record and restore
+// instead of the full-array O(n) copies per batch member. The pre-delta
+// full-copy layout (dense uw/parent snapshots) is kept behind
+// BatchOptions.FullCheckpoint as the ablation baseline.
 type finalPrefix struct {
 	valid    bool  // a checkpoint was recorded; members may resume
 	complete bool  // the whole pass was clean; members adopt everything
+	full     bool  // use the dense full-copy layout (ablation)
 	u0       int32 // seed the prefix grew from (resume sanity check)
 	rounds   int   // growth rounds contained in the prefix
 	lookups  int64 // syndrome consultations the prefix spent
 	uCount   int   // |U| at the checkpoint
-	uw       []uint64
-	parent   []int32
+
+	// Delta layout (default): sparse dirty lists.
+	dirtyIdx []int32  // indices of non-zero U words, ascending
+	dirtyW   []uint64 // their word values
+	parents  []int32  // tree parents of the set bits, packed ascending
+
+	// Full-copy layout (full == true): dense snapshots.
+	uw     []uint64
+	parent []int32
+
 	frontier []int32 // round-start frontier at the boundary (sorted)
 
 	hazard []uint64 // F ∪ N(F) mask, used only while recording
+	nbuf   []int32  // neighbour buffer for implicit adjacencies
 }
 
 // begin arms the recorder for one final pass: it materialises the
@@ -56,8 +75,9 @@ type finalPrefix struct {
 // checkpoint stays invalid — when even the seed's own pair scan would
 // consult a hazardous comparison (u0 faulty or adjacent to a fault):
 // the shareable prefix is empty and members simply run in full.
-func (fp *finalPrefix) begin(g *graph.Graph, faults *bitset.Set, u0 int32) bool {
-	words := (g.N() + 63) / 64
+func (fp *finalPrefix) begin(a graph.Adjacencer, faults *bitset.Set, u0 int32) bool {
+	g := graph.CSR(a)
+	words := (a.N() + 63) / 64
 	if len(fp.hazard) != words {
 		fp.hazard = make([]uint64, words)
 	} else {
@@ -69,7 +89,14 @@ func (fp *finalPrefix) begin(g *graph.Graph, faults *bitset.Set, u0 int32) bool 
 		for ; w != 0; w &= w - 1 {
 			f := int32(wi<<6 + bits.TrailingZeros64(w))
 			fp.hazard[f>>6] |= 1 << (uint32(f) & 63)
-			for _, nb := range g.Neighbors(f) {
+			var nbrs []int32
+			if g != nil {
+				nbrs = g.Neighbors(f)
+			} else {
+				fp.nbuf = a.AppendNeighbors(f, fp.nbuf)
+				nbrs = fp.nbuf
+			}
+			for _, nb := range nbrs {
 				fp.hazard[nb>>6] |= 1 << (uint32(nb) & 63)
 			}
 		}
@@ -100,12 +127,47 @@ func (fp *finalPrefix) frontierHazardous(frontier []int32) bool {
 // comparison. frontier must be the (sorted) round-start frontier.
 func (fp *finalPrefix) snapshot(res *SetBuilderResult, frontier []int32, uCount, rounds int, lookups int64) {
 	uw := res.U.Words()
-	if len(fp.uw) != len(uw) {
-		fp.uw = make([]uint64, len(uw))
-		fp.parent = make([]int32, len(res.Parent))
+	if fp.full {
+		if len(fp.uw) != len(uw) {
+			fp.uw = make([]uint64, len(uw))
+			fp.parent = make([]int32, len(res.Parent))
+		}
+		copy(fp.uw, uw)
+		copy(fp.parent, res.Parent)
+	} else {
+		// Size the lists exactly before filling them: one popcount-free
+		// pass counts the dirty words, and uCount is the parent count,
+		// so recording costs at most two allocations sized to the
+		// boundary tree — no append-doubling churn, and nothing
+		// proportional to the graph.
+		nz := 0
+		for _, w := range uw {
+			if w != 0 {
+				nz++
+			}
+		}
+		if cap(fp.dirtyIdx) < nz {
+			fp.dirtyIdx = make([]int32, 0, nz)
+			fp.dirtyW = make([]uint64, 0, nz)
+		}
+		if cap(fp.parents) < uCount {
+			fp.parents = make([]int32, 0, uCount)
+		}
+		fp.dirtyIdx = fp.dirtyIdx[:0]
+		fp.dirtyW = fp.dirtyW[:0]
+		fp.parents = fp.parents[:0]
+		parent := res.Parent
+		for wi, w := range uw {
+			if w == 0 {
+				continue
+			}
+			fp.dirtyIdx = append(fp.dirtyIdx, int32(wi))
+			fp.dirtyW = append(fp.dirtyW, w)
+			for ; w != 0; w &= w - 1 {
+				fp.parents = append(fp.parents, parent[wi<<6+bits.TrailingZeros64(w)])
+			}
+		}
 	}
-	copy(fp.uw, uw)
-	copy(fp.parent, res.Parent)
 	fp.frontier = append(fp.frontier[:0], frontier...)
 	fp.uCount, fp.rounds, fp.lookups = uCount, rounds, lookups
 	fp.valid, fp.complete = true, false
@@ -128,8 +190,22 @@ func (fp *finalPrefix) snapshotComplete(res *SetBuilderResult, uCount int, looku
 // rebuilds them from the final parents anyway, so only the generic
 // sweep (which tracks them live) calls restoreContributors.
 func (fp *finalPrefix) loadInto(sc *Scratch, res *SetBuilderResult) (frontier []int32) {
-	copy(res.U.Words(), fp.uw)
-	copy(res.Parent, fp.parent)
+	if fp.full {
+		copy(res.U.Words(), fp.uw)
+		copy(res.Parent, fp.parent)
+	} else {
+		uw := res.U.Words()
+		parent := res.Parent
+		pi := 0
+		for i, wi := range fp.dirtyIdx {
+			w := fp.dirtyW[i]
+			uw[wi] = w
+			for ; w != 0; w &= w - 1 {
+				parent[int32(wi)<<6+int32(bits.TrailingZeros64(w))] = fp.parents[pi]
+				pi++
+			}
+		}
+	}
 	return append(sc.frontier[:0], fp.frontier...)
 }
 
@@ -137,11 +213,19 @@ func (fp *finalPrefix) loadInto(sc *Scratch, res *SetBuilderResult) (frontier []
 // the tree — the contributors are exactly the parents of admitted
 // nodes — and returns its count.
 func (fp *finalPrefix) restoreContributors(res *SetBuilderResult) int {
-	for wi, w := range fp.uw {
-		for ; w != 0; w &= w - 1 {
-			if p := fp.parent[wi<<6+bits.TrailingZeros64(w)]; p >= 0 {
-				res.Contributors.Add(int(p))
+	if fp.full {
+		for wi, w := range fp.uw {
+			for ; w != 0; w &= w - 1 {
+				if p := fp.parent[wi<<6+bits.TrailingZeros64(w)]; p >= 0 {
+					res.Contributors.Add(int(p))
+				}
 			}
+		}
+		return res.Contributors.Count()
+	}
+	for _, p := range fp.parents {
+		if p >= 0 {
+			res.Contributors.Add(int(p))
 		}
 	}
 	return res.Contributors.Count()

@@ -42,9 +42,9 @@ type wordRounder interface {
 // much later than big sparse ones, which is what the old flat
 // words-count gate got wrong. The word floor stays: below one word per
 // frontier node the permutes cannot pay for themselves.
-func sweepThresholdFor(roundCost int, g *graph.Graph) int {
-	words := (g.N() + 63) / 64
-	deg := g.MaxDegree()
+func sweepThresholdFor(roundCost int, a graph.Adjacencer) int {
+	words := (a.N() + 63) / 64
+	deg := a.MaxDegree()
 	if deg == 0 {
 		return words
 	}
@@ -66,8 +66,9 @@ func sweepThresholdFor(roundCost int, g *graph.Graph) int {
 // kernel's round consults literally that prefix for each v; only the
 // interleaving across different v differs, which is unobservable for
 // any deterministic syndrome.
-func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int, k wordRounder) *SetBuilderResult {
-	sc.ensure(g.N())
+func runWordKernel(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, delta int, k wordRounder) *SetBuilderResult {
+	sc.ensure(a.N())
+	csr := graph.CSR(a)
 	sc.resetTree()
 	res := &sc.res
 	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
@@ -89,14 +90,20 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 	} else {
 		res.U.Add(int(u0))
 		rec := sc.prefixRec
-		if rec != nil && !rec.begin(g, l.Faults(), u0) {
+		if rec != nil && !rec.begin(a, l.Faults(), u0) {
 			rec = nil // even the pair scan is hazardous: no shareable prefix
 			sc.prefixRec = nil
 		}
 
 		// Build U_1 exactly as the reference loop: u0 tests unordered pairs
 		// of its neighbours; a 0 result certifies both participants at once.
-		adj := g.Neighbors(u0)
+		var adj []int32
+		if csr != nil {
+			adj = csr.Neighbors(u0)
+		} else {
+			sc.nbuf = a.AppendNeighbors(u0, sc.nbuf)
+			adj = sc.nbuf
+		}
 		frontier = sc.frontier[:0]
 		next = sc.next[:0]
 		for i := 0; i < len(adj); i++ {
@@ -122,9 +129,12 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 		uCount = 1 + len(frontier)
 	}
 
-	n := g.N()
+	n := a.N()
 	added := sc.added
-	offs, tgts := g.Adjacency()
+	var offs, tgts []int32
+	if csr != nil {
+		offs, tgts = csr.Adjacency()
+	}
 	uw := res.U.Words()
 	parent := res.Parent
 	fw := sc.fsetBuf().Words()
@@ -191,8 +201,14 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 				for inv != 0 {
 					v := int32(wi<<6 + bits.TrailingZeros64(inv))
 					inv &= inv - 1
-					for ai, end := offs[v], offs[v+1]; ai < end; ai++ {
-						u := tgts[ai]
+					var nbrs []int32
+					if csr != nil {
+						nbrs = tgts[offs[v]:offs[v+1]]
+					} else {
+						sc.nbuf = a.AppendNeighbors(v, sc.nbuf)
+						nbrs = sc.nbuf
+					}
+					for _, u := range nbrs {
 						if fw[u>>6]&(1<<(uint(u)&63)) == 0 {
 							continue
 						}
@@ -226,8 +242,14 @@ func runWordKernel(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delt
 			// scrambled U_1 frontier.
 			for _, u := range frontier {
 				tu := parent[u]
-				for ai, end := offs[u], offs[u+1]; ai < end; ai++ {
-					v := tgts[ai]
+				var nbrs []int32
+				if csr != nil {
+					nbrs = tgts[offs[u]:offs[u+1]]
+				} else {
+					sc.nbuf = a.AppendNeighbors(u, sc.nbuf)
+					nbrs = sc.nbuf
+				}
+				for _, v := range nbrs {
 					if uw[v>>6]&(1<<(uint(v)&63)) != 0 {
 						continue
 					}

@@ -79,12 +79,12 @@ type xorKernel struct {
 // be XOR-Cayley. Floors: ≥ 64 nodes (below that the word logic cannot
 // win) and ≤ 32 generators; the descriptor must match the graph order
 // and carry well-formed masks.
-func bindXORKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel {
+func bindXORKernel(desc graph.CayleyDescriptor, a graph.Adjacencer) finalKernel {
 	xc, ok := desc.(graph.XORCayley)
 	if !ok {
 		return nil
 	}
-	n := g.N()
+	n := a.N()
 	if n < 64 || n&(n-1) != 0 || xc.Order() != n {
 		return nil
 	}
@@ -130,7 +130,7 @@ func bindXORKernel(desc graph.CayleyDescriptor, g *graph.Graph) finalKernel {
 	for _, st := range steps {
 		cost += (words >> bits.OnesCount32(st.wiMask)) * (1 + bits.OnesCount32(st.low))
 	}
-	return &xorKernel{steps: steps, multi: xc.MultiBit(), threshold: sweepThresholdFor(cost, g)}
+	return &xorKernel{steps: steps, multi: xc.MultiBit(), threshold: sweepThresholdFor(cost, a)}
 }
 
 // xorLit is one condition literal: node bit `bit` of the candidate must
@@ -224,8 +224,8 @@ func (k *xorKernel) Name() string {
 	return "xor-cayley"
 }
 
-func (k *xorKernel) run(sc *Scratch, g *graph.Graph, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult {
-	return runWordKernel(sc, g, l, u0, delta, k)
+func (k *xorKernel) run(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, delta int) *SetBuilderResult {
+	return runWordKernel(sc, a, l, u0, delta, k)
 }
 
 func (k *xorKernel) sweepThreshold() int { return k.threshold }

@@ -18,6 +18,7 @@ import (
 	"comparisondiag/internal/bitset"
 	"comparisondiag/internal/campaign"
 	"comparisondiag/internal/core"
+	"comparisondiag/internal/graph"
 	"comparisondiag/internal/syndrome"
 	"comparisondiag/internal/topology"
 )
@@ -139,6 +140,50 @@ func engineDiagnoseCase(nw topology.Network) Result {
 		return s.Lookups() - before
 	}
 	return run("enginediagnose/"+nw.Name(), op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
+// implicitEngineDiagnoseCase measures the descriptor-bound serving
+// path: a Q_bits engine bound straight from its XOR descriptor — no CSR
+// ever materialised — serving warm scratch-bound diagnoses. The fault
+// load mirrors engineDiagnoseCase exactly (same size, same seed), so at
+// a size where both run, lookups/op must be bit-identical to
+// enginediagnose on the same hypercube: implicit adjacency changes
+// where neighbours come from, never which tests run. At Q20 (2^20
+// nodes) this is the million-node headline the CSR path cannot reach in
+// comparable memory (~84 MB of adjacency arrays avoided); allocs/op
+// staying 0 is the regression gate.
+func implicitEngineDiagnoseCase(bits int) Result {
+	masks := make([]int32, bits)
+	for i := range masks {
+		masks[i] = 1 << uint(i)
+	}
+	eng, err := core.NewCayleyEngine(graph.XORCayley{Bits: bits, Masks: masks}, bits)
+	if err != nil {
+		panic(err)
+	}
+	n := 1 << uint(bits)
+	F := syndrome.RandomFaults(n, bits, rand.New(rand.NewSource(1)))
+	s := syndrome.NewLazy(F, syndrome.Mimic{})
+	sc := eng.AcquireScratch()
+	defer eng.ReleaseScratch(sc)
+	opt := core.Options{Scratch: sc}
+	op := func() int64 {
+		before := s.Lookups()
+		got, _, err := eng.DiagnoseOpts(s, opt)
+		if err != nil {
+			panic(err)
+		}
+		if !got.Equal(F) {
+			panic("misdiagnosis")
+		}
+		return s.Lookups() - before
+	}
+	return run(fmt.Sprintf("enginediagnoseimplicit/Q%d", bits), op, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			op()
@@ -392,13 +437,21 @@ func batchSharedCertCase(nw topology.Network, hyps int, share bool) Result {
 // adversaries with ShareCertification + ShareFinalPrefix grouping, so
 // each hypothesis pays one part scan and one behaviour-independent
 // final-prefix growth, and members only regrow the suffix past the
-// first fault-adjacent frontier. The fault sets cluster around far
-// nodes (BFS-last from the certified seed) — the repeated-hypothesis
-// serving workload this lever targets, where most growth rounds never
-// touch N(F). The `off` twin runs the identical batch unshared; the
-// ns/op gap is the headline and the lookups/op gap (group totals
-// strictly below unshared) is the deterministic gate.
-func batchSharedFinalCase(nw topology.Network, hyps int, share bool) Result {
+// first fault-adjacent frontier. With scatter == false the fault sets
+// cluster around far nodes (BFS-last from the certified seed) — the
+// repeated-hypothesis serving workload this lever targets, where most
+// growth rounds never touch N(F); the `off` twin runs the identical
+// batch unshared and the ns/op gap is the headline, the lookups/op gap
+// (group totals strictly below unshared) the deterministic gate. With
+// scatter == true the hypotheses are uniform random fault sets, whose
+// hazard mask truncates the shareable prefix after a few rounds — the
+// boundary tree is a sliver of the graph, so the sparse dirty-list
+// checkpoint records kilobytes where the dense layout still copies full
+// per-node arrays. The `full` twin (share with
+// BatchOptions.FullCheckpoint) re-runs the identical shared batch on
+// the pre-delta dense layout: identical results and lookups/op, and on
+// the scatter pair the bytes/op gap is the delta encoding's win.
+func batchSharedFinalCase(nw topology.Network, hyps int, share, full, scatter bool) Result {
 	g := nw.Graph()
 	delta := nw.Diagnosability()
 	eng := core.NewEngine(nw)
@@ -406,39 +459,52 @@ func batchSharedFinalCase(nw topology.Network, hyps int, share bool) Result {
 	if err != nil {
 		panic(err)
 	}
-	// Fault clusters centred on the nodes farthest (by BFS distance)
-	// from the first part's seed: maximally distant from where the
-	// final pass starts growing.
-	dist := g.BFSFrom(parts[0].Seed, nil)
-	centers := make([]int32, 0, hyps)
-	for want := int32(1 << 30); len(centers) < hyps; {
-		farD := int32(-1)
-		for _, d := range dist {
-			if d < want && d > farD {
-				farD = d
-			}
-		}
-		want = farD
-		for v := int32(0); int(v) < len(dist) && len(centers) < hyps; v++ {
-			if dist[v] == farD {
-				centers = append(centers, v)
-			}
-		}
-	}
 	faultSets := make([]*bitset.Set, hyps)
-	for d := range faultSets {
-		faultSets[d] = syndrome.ClusterFaults(g, centers[d], delta)
+	if scatter {
+		rng := rand.New(rand.NewSource(23))
+		for d := range faultSets {
+			faultSets[d] = syndrome.RandomFaults(g.N(), delta, rng)
+		}
+	} else {
+		// Fault clusters centred on the nodes farthest (by BFS distance)
+		// from the first part's seed: maximally distant from where the
+		// final pass starts growing.
+		dist := g.BFSFrom(parts[0].Seed, nil)
+		centers := make([]int32, 0, hyps)
+		for want := int32(1 << 30); len(centers) < hyps; {
+			farD := int32(-1)
+			for _, d := range dist {
+				if d < want && d > farD {
+					farD = d
+				}
+			}
+			want = farD
+			for v := int32(0); int(v) < len(dist) && len(centers) < hyps; v++ {
+				if dist[v] == farD {
+					centers = append(centers, v)
+				}
+			}
+		}
+		for d := range faultSets {
+			faultSets[d] = syndrome.ClusterFaults(g, centers[d], delta)
+		}
 	}
 	behaviors := []syndrome.Behavior{
 		syndrome.Mimic{}, syndrome.AllZero{}, syndrome.AllOne{}, syndrome.Inverted{},
 		syndrome.Random{Seed: 1}, syndrome.Random{Seed: 2}, syndrome.Random{Seed: 3}, syndrome.Random{Seed: 4},
 	}
 	total := hyps * len(behaviors)
-	name := fmt.Sprintf("batchsharedfinal%d/%s", total, nw.Name())
-	if !share {
-		name = fmt.Sprintf("batchsharedfinal%doff/%s", total, nw.Name())
+	kind := ""
+	if scatter {
+		kind = "scatter"
 	}
-	opt := core.BatchOptions{ShareCertification: share, ShareFinalPrefix: share}
+	name := fmt.Sprintf("batchsharedfinal%s%d/%s", kind, total, nw.Name())
+	if !share {
+		name = fmt.Sprintf("batchsharedfinal%s%doff/%s", kind, total, nw.Name())
+	} else if full {
+		name = fmt.Sprintf("batchsharedfinal%sfull%d/%s", kind, total, nw.Name())
+	}
+	opt := core.BatchOptions{ShareCertification: share, ShareFinalPrefix: share, FullCheckpoint: full}
 	op := func() int64 {
 		syns := make([]syndrome.Syndrome, 0, total)
 		for _, F := range faultSets {
@@ -639,8 +705,8 @@ func Suite() *Report {
 	// behaviour-independent final-prefix growth on top of the shared
 	// part scan (8 hypotheses × 8 adversaries).
 	rep.Results = append(rep.Results,
-		batchSharedFinalCase(topology.NewHypercube(14), 8, true),
-		batchSharedFinalCase(topology.NewHypercube(14), 8, false),
+		batchSharedFinalCase(topology.NewHypercube(14), 8, true, false, false),
+		batchSharedFinalCase(topology.NewHypercube(14), 8, false, false, false),
 	)
 	// PR 6: churn tolerance — a from-scratch bind of Q14, the
 	// incremental rebind after a 16-node removal (gated well under the
@@ -649,6 +715,21 @@ func Suite() *Report {
 		fullBindCase(14),
 		churnRebindCase(14, 16),
 		churnDiagnoseCase(14, 16),
+	)
+	// PR 7: million-node implicit engines — the descriptor-bound Q20
+	// diagnose headline (0 allocs/op warm, no CSR), the implicit-vs-CSR
+	// Q14 pair (lookups/op bit-identical to enginediagnose/Q14), and the
+	// delta-vs-full checkpoint ablation: the far-cluster full twin (dense
+	// boundary tree, encodings cost alike) and the scattered-hypothesis
+	// pair, where the sparse dirty lists record the sliver-sized boundary
+	// tree and the dense layout still copies full per-node arrays —
+	// results and lookups identical across every twin.
+	rep.Results = append(rep.Results,
+		implicitEngineDiagnoseCase(14),
+		implicitEngineDiagnoseCase(20),
+		batchSharedFinalCase(topology.NewHypercube(14), 8, true, true, false),
+		batchSharedFinalCase(topology.NewHypercube(14), 8, true, false, true),
+		batchSharedFinalCase(topology.NewHypercube(14), 8, true, true, true),
 	)
 	return rep
 }
@@ -664,10 +745,11 @@ func QuickSuite() *Report {
 		setBuilderCase(topology.NewHypercube(10)),
 		engineDiagnoseCase(topology.NewHypercube(10)),
 		batchRepeatCase(topology.NewHypercube(10), 16, 4, true),
-		batchSharedFinalCase(topology.NewHypercube(10), 2, true),
+		batchSharedFinalCase(topology.NewHypercube(10), 2, true, false, false),
 		campaignSweepCase(topology.NewHypercube(8), true),
 		graphBuildCase(10),
 		churnRebindCase(10, 4),
+		implicitEngineDiagnoseCase(10),
 	)
 	return rep
 }

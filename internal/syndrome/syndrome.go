@@ -235,10 +235,14 @@ func ForConcurrent(s Syndrome) Syndrome {
 // ForEachTest enumerates every test of the complete syndrome table of g:
 // for each node u and each unordered pair {v, w} of its neighbours it
 // calls f(u, v, w) with v < w. It returns early if f returns false.
-// The total number of enumerated tests is Σ_u C(deg(u), 2).
-func ForEachTest(g *graph.Graph, f func(u, v, w int32) bool) {
+// The total number of enumerated tests is Σ_u C(deg(u), 2). The
+// adjacency may be CSR-backed or an implicit generator; enumeration
+// order is identical either way.
+func ForEachTest(g graph.Adjacencer, f func(u, v, w int32) bool) {
+	var buf []int32
 	for u := int32(0); int(u) < g.N(); u++ {
-		adj := g.Neighbors(u)
+		buf = g.AppendNeighbors(u, buf)
+		adj := buf
 		for i := 0; i < len(adj); i++ {
 			for j := i + 1; j < len(adj); j++ {
 				if !f(u, adj[i], adj[j]) {
@@ -252,7 +256,7 @@ func ForEachTest(g *graph.Graph, f func(u, v, w int32) bool) {
 // TableSize returns the number of entries in the complete syndrome table
 // of g: Σ_u C(deg(u), 2). This is the quantity a full-table algorithm
 // (such as Chiang–Tan's) must materialise and consult.
-func TableSize(g *graph.Graph) int64 {
+func TableSize(g graph.Adjacencer) int64 {
 	var total int64
 	for u := int32(0); int(u) < g.N(); u++ {
 		d := int64(g.Degree(u))
@@ -265,7 +269,7 @@ func TableSize(g *graph.Graph) int64 {
 // with the syndrome s on graph g: every test by a node outside F must
 // equal the truth implied by F. (Tests by members of F are arbitrary
 // under the model and impose no constraint.)
-func Consistent(g *graph.Graph, s Syndrome, F *bitset.Set) bool {
+func Consistent(g graph.Adjacencer, s Syndrome, F *bitset.Set) bool {
 	ok := true
 	ForEachTest(g, func(u, v, w int32) bool {
 		if F.Contains(int(u)) {

@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"comparisondiag/internal/graph"
+)
+
+// declaredFamilies returns every declared-Cayley instance the coset
+// tests compare against its own CSR-derived partition. Sizes are chosen
+// so the family's Parts succeeds without padding at the quoted request
+// (range partitions only) — padding is a graph-walking repair the
+// descriptor path deliberately does not reproduce.
+func declaredFamilies() []CayleyStructured {
+	return []CayleyStructured{
+		NewHypercube(8),
+		NewFoldedHypercube(6),
+		NewEnhancedHypercube(7, 3),
+		NewAugmentedCube(5),
+		NewKAryNCube(4, 4),
+		NewAugmentedKAryNCube(4, 4),
+	}
+}
+
+// TestCayleyAdjacencyMatchesFamilies pins the implicit adjacency against
+// the family constructors' independently built CSR graphs: for every
+// declared instance, every node's generated neighbour list must equal
+// the materialised one.
+func TestCayleyAdjacencyMatchesFamilies(t *testing.T) {
+	for _, nw := range declaredFamilies() {
+		t.Run(nw.Name(), func(t *testing.T) {
+			desc := nw.CayleyStructure()
+			if desc == nil {
+				t.Fatalf("%s declares no descriptor", nw.Name())
+			}
+			ca, err := graph.NewCayleyAdjacency(desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := nw.Graph()
+			if ca.N() != g.N() {
+				t.Fatalf("order %d, graph has %d nodes", ca.N(), g.N())
+			}
+			var buf []int32
+			for u := int32(0); int(u) < g.N(); u++ {
+				buf = ca.AppendNeighbors(u, buf)
+				if !slices.Equal(buf, g.Neighbors(u)) {
+					t.Fatalf("node %d: implicit %v, family CSR %v", u, buf, g.Neighbors(u))
+				}
+			}
+		})
+	}
+}
+
+// TestCayleyPartsMatchesFamilyParts pins the Theorem 1 partition derived
+// from the coset structure against the family's own Parts across the
+// request range an engine actually issues (every tightened bound from 1
+// up to δ+1): part-for-part identical node ranges and seeds whenever
+// the CSR path succeeds without padding, and ErrNoPartition only when
+// the CSR path also fails.
+func TestCayleyPartsMatchesFamilyParts(t *testing.T) {
+	for _, nw := range declaredFamilies() {
+		t.Run(nw.Name(), func(t *testing.T) {
+			desc := nw.CayleyStructure()
+			for bound := 1; bound <= nw.Diagnosability()+1; bound++ {
+				want, wantErr := nw.Parts(bound, bound)
+				got, gotErr := CayleyParts(desc, bound, bound)
+				if wantErr != nil {
+					if gotErr == nil {
+						t.Fatalf("bound %d: family refused (%v), descriptor produced %d parts", bound, wantErr, len(got))
+					}
+					continue
+				}
+				if gotErr != nil {
+					// The descriptor path may refuse a level the CSR path
+					// only reaches by padding; it must say so with the
+					// canonical sentinel, and never invent a partition.
+					if !errors.Is(gotErr, ErrNoPartition) {
+						t.Fatalf("bound %d: unexpected error %v", bound, gotErr)
+					}
+					continue
+				}
+				if len(got) != len(want) {
+					t.Fatalf("bound %d: %d parts from descriptor, %d from family", bound, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Seed != want[i].Seed || !slices.Equal(got[i].Nodes, want[i].Nodes) {
+						t.Fatalf("bound %d part %d: descriptor (seed %d, %d nodes) differs from family (seed %d, %d nodes)",
+							bound, i, got[i].Seed, len(got[i].Nodes), want[i].Seed, len(want[i].Nodes))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCayleyPartsRefusals pins the error paths: undeclared descriptor
+// kinds and impossible requests return ErrNoPartition.
+func TestCayleyPartsRefusals(t *testing.T) {
+	if _, err := CayleyParts(nil, 2, 2); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("nil descriptor: %v", err)
+	}
+	// A request larger than any coset level can serve.
+	desc := NewHypercube(6).CayleyStructure()
+	if _, err := CayleyParts(desc, 1<<6, 2); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("oversized request: %v", err)
+	}
+}
