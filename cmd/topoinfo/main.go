@@ -87,6 +87,11 @@ func main() {
 				fmtBytes(ca.FootprintBytes()), float64(csrBytes)/float64(ca.FootprintBytes()))
 		}
 	}
+	// Serving-side scratch: the dense per-node diagnosis arrays every
+	// worker pins (see core.Scratch) — an engine's steady-state memory is
+	// adjacency + this figure × its scratch-pool size.
+	fmt.Printf("scratch memory  %s per serving worker (dense per-node arrays; × pool size)\n",
+		fmtBytes(core.ScratchFootprintBytes(g.N())))
 
 	d := nw.Diagnosability()
 	parts, err := nw.Parts(d+1, d+1)

@@ -274,7 +274,8 @@ var (
 	// steady-state allocations; the result is a view into the scratch.
 	SetBuilderInto = core.SetBuilderInto
 	// SetBuilderParallel splits the growth rounds across workers for
-	// very large graphs; same tree, possibly more look-ups.
+	// very large graphs — CSR or implicit adjacency alike; same tree,
+	// possibly more look-ups.
 	SetBuilderParallel = core.SetBuilderParallel
 	// NewScratch allocates hot-path buffers for graphs on n nodes.
 	NewScratch = core.NewScratch
@@ -363,6 +364,11 @@ var CampaignSweep = campaign.Sweep
 // NewCampaignRuntime starts a persistent worker pool bound to an
 // engine; share it across sweeps and batches, Close when done.
 var NewCampaignRuntime = campaign.NewRuntime
+
+// NewShardedCampaignRuntime starts one worker group per engine
+// snapshot, so Q20-scale sweeps spread over several scratch pools and
+// binding snapshots; outcomes stay bit-identical across shard counts.
+var NewShardedCampaignRuntime = campaign.NewShardedRuntime
 
 // CampaignSweepRuntime is CampaignSweep on a caller-owned runtime.
 var CampaignSweepRuntime = campaign.SweepRuntime

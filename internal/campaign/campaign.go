@@ -96,17 +96,23 @@ func Sweep(nw topology.Network, cfg Config) []Point {
 }
 
 // SweepRuntime is Sweep against a caller-owned Runtime (and its bound
-// engine). Trials are dealt to the pool in chunks by trial index and
-// every trial reseeds its worker's PRNG from (Seed, fault count,
-// index), so the points are bit-identical to a sequential loop —
-// worker count and scheduling cannot change an outcome. Config.Workers
+// engine — or engines, under NewShardedRuntime). Trials are dealt to
+// the pool in chunks by trial index and every trial reseeds its
+// worker's PRNG from (Seed, fault count, index), so the points are
+// bit-identical to a sequential loop — worker count, scheduling and
+// shard count cannot change an outcome (sharded engines serve the same
+// network by the NewShardedRuntime contract). Each trial diagnoses
+// through its worker's pinned engine, so a sharded runtime spreads the
+// sweep across engine snapshots and scratch pools. Implicit
+// (descriptor-backed) engines are served like CSR ones. Config.Workers
 // and Config.OnEngine are ignored here: the runtime fixes both.
 func SweepRuntime(rt *Runtime, cfg Config) []Point {
 	if cfg.Behavior == nil {
 		cfg.Behavior = syndrome.Mimic{}
 	}
 	eng := rt.Engine()
-	g := eng.Graph()
+	n := eng.Adjacency().N()
+	g := eng.Graph() // nil for implicit engines; only the fallback needs it
 	delta := eng.Diagnosability()
 	perr := eng.PartsErr()
 
@@ -120,16 +126,23 @@ func SweepRuntime(rt *Runtime, cfg Config) []Point {
 			// per-trial allocation, and independently of which worker
 			// claimed the trial.
 			w.RNG.Seed(cfg.Seed + int64(f)*1_000_003 + int64(i))
-			F := syndrome.RandomFaults(g.N(), f, w.RNG)
+			F := syndrome.RandomFaults(n, f, w.RNG)
 			s := syndrome.NewLazy(F, cfg.Behavior)
 			if perr != nil {
+				if g == nil {
+					// Implicit engine with no usable partition: there is
+					// no CSR for the verification fallback to scan, so the
+					// typed partition error is the verdict.
+					results[i] = classify(false, perr)
+					return
+				}
 				// No partition: campaign the verification path.
 				got, err := core.DiagnoseWithVerification(g, delta, s)
 				results[i] = classify(got != nil && got.Equal(F), err)
 				return
 			}
 			opt := core.Options{Scratch: w.Scratch, ResultCache: cfg.Cache}
-			got, _, err := eng.DiagnoseOpts(s, opt)
+			got, _, err := w.Engine.DiagnoseOpts(s, opt)
 			results[i] = classify(got != nil && got.Equal(F), err)
 		})
 		for _, o := range results {

@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"sync"
+	"testing"
+
+	"comparisondiag/internal/core"
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/topology"
+)
+
+// shardedEngines binds count independent engine snapshots of the same
+// network — the NewShardedRuntime contract.
+func shardedEngines(nw topology.Network, count int) []*core.Engine {
+	engines := make([]*core.Engine, count)
+	for i := range engines {
+		engines[i] = core.NewEngine(nw)
+	}
+	return engines
+}
+
+// TestShardedSweepMatchesUnsharded pins the sharded runtime's
+// bit-identity contract: the same sweep Config produces identical
+// points on a single-engine pool and on 2- and 4-shard pools — per-trial
+// reseeding makes outcomes a function of the trial index alone, and
+// every shard serves the same network.
+func TestShardedSweepMatchesUnsharded(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	nw := topology.NewHypercube(8)
+	cfg := Config{MinFaults: 0, MaxFaults: nw.Diagnosability() + 2, Trials: 16, Seed: 11}
+
+	ref := NewRuntime(core.NewEngine(nw), 1)
+	want := SweepRuntime(ref, cfg)
+	ref.Close()
+
+	for _, shards := range []int{2, 4} {
+		rt := NewShardedRuntime(shardedEngines(nw, shards), 1)
+		got := SweepRuntime(rt, cfg)
+		if s := rt.Stats(); s.Shards != shards || s.Workers != shards {
+			t.Fatalf("%d-shard runtime reports %d shards, %d workers", shards, s.Shards, s.Workers)
+		}
+		rt.Close()
+		if !pointsEqual(got, want) {
+			t.Fatalf("%d-shard sweep diverged from unsharded: %+v vs %+v", shards, got, want)
+		}
+	}
+}
+
+// TestShardedSweepImplicitEngines runs the sharded sweep over implicit
+// (descriptor-backed) engines: no CSR exists, so this also regresses
+// SweepRuntime's engine-generic plumbing (it must size fault sets from
+// Engine.Adjacency, not the nil Engine.Graph).
+func TestShardedSweepImplicitEngines(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	const bitsN = 10
+	masks := make([]int32, bitsN)
+	for i := range masks {
+		masks[i] = 1 << uint(i)
+	}
+	desc := graph.XORCayley{Bits: bitsN, Masks: masks}
+	newImplicit := func() *core.Engine {
+		eng, err := core.NewCayleyEngine(desc, bitsN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	cfg := Config{MinFaults: 0, MaxFaults: bitsN + 1, Trials: 12, Seed: 5}
+
+	ref := NewRuntime(newImplicit(), 1)
+	want := SweepRuntime(ref, cfg)
+	ref.Close()
+
+	// The guarantee region must be fully exact — the sweep is serving
+	// real diagnoses, not just exercising the pool.
+	for _, p := range want[:bitsN+1] {
+		if p.Exact != p.Trials {
+			t.Fatalf("implicit sweep not exact inside the bound: %+v", p)
+		}
+	}
+
+	rt := NewShardedRuntime([]*core.Engine{newImplicit(), newImplicit()}, 2)
+	defer rt.Close()
+	if got := SweepRuntime(rt, cfg); !pointsEqual(got, want) {
+		t.Fatalf("sharded implicit sweep diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestShardedRuntimeWorkerPinning pins the worker-group layout: with k
+// engines and w workers per engine, workers 0..w-1 carry engine 0,
+// w..2w-1 engine 1, and so on — and every worker diagnoses through its
+// own pinned engine's scratch pool.
+func TestShardedRuntimeWorkerPinning(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	nw := topology.NewHypercube(6)
+	engines := shardedEngines(nw, 2)
+	rt := NewShardedRuntime(engines, 2)
+	defer rt.Close()
+	if rt.Workers() != 4 {
+		t.Fatalf("2 shards × 2 workers gave %d workers", rt.Workers())
+	}
+	if got := rt.Engines(); len(got) != 2 || got[0] != engines[0] || got[1] != engines[1] {
+		t.Fatal("Engines() does not expose the shard engines in order")
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]*core.Engine)
+	rt.Run(64, func(w *Worker, i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := seen[w.ID]; ok && prev != w.Engine {
+			t.Errorf("worker %d changed engines mid-lifetime", w.ID)
+		}
+		seen[w.ID] = w.Engine
+		if want := engines[w.ID/2]; w.Engine != want {
+			t.Errorf("worker %d pinned to the wrong shard", w.ID)
+		}
+		if w.Scratch == nil {
+			t.Errorf("worker %d has no pinned scratch", w.ID)
+		}
+	})
+}
+
+// TestShardedSweepConcurrent is the race hammer: two goroutines drive
+// full sweeps through one sharded runtime at the same time (each Run
+// call carries its own cursor), and both must produce the reference
+// points. Run with -race in the verify matrix.
+func TestShardedSweepConcurrent(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	nw := topology.NewHypercube(7)
+	cfg := Config{MinFaults: 0, MaxFaults: nw.Diagnosability() + 1, Trials: 10, Seed: 3}
+
+	ref := NewRuntime(core.NewEngine(nw), 1)
+	want := SweepRuntime(ref, cfg)
+	ref.Close()
+
+	rt := NewShardedRuntime(shardedEngines(nw, 2), 2)
+	defer rt.Close()
+	var wg sync.WaitGroup
+	results := make([][]Point, 4)
+	for r := range results {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r] = SweepRuntime(rt, cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, got := range results {
+		if !pointsEqual(got, want) {
+			t.Fatalf("concurrent sweep %d diverged: %+v vs %+v", r, got, want)
+		}
+	}
+}
+
+// TestShardedRuntimeEmptyPanics pins the constructor guard.
+func TestShardedRuntimeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShardedRuntime accepted an empty engine slice")
+		}
+	}()
+	NewShardedRuntime(nil, 1)
+}

@@ -206,11 +206,12 @@ func NewGraphEngine(g *graph.Graph, delta int, parts []topology.Part) *Engine {
 // construction still succeeds and every Diagnose reports it.
 //
 // Implicit engines serve Diagnose/DiagnoseOpts/DiagnoseBatch in full
-// (including FaultBound tightening, sharing, and result caches). They
-// do not support Rebind/Survivor (churn removal is defined against a
-// CSR) or BindCayley (the structure is the binding), and Graph()
-// returns nil; parallel final passes fall back to the sequential,
-// look-up-exact path.
+// (including FaultBound tightening, sharing, result caches, and
+// Options.FinalWorkers fan-out — a bound word kernel splits its rounds
+// at word granularity and keeps even the look-up count bit-identical;
+// see rangedRounder). They do not support Rebind/Survivor (churn
+// removal is defined against a CSR) or BindCayley (the structure is
+// the binding), and Graph() returns nil.
 func NewCayleyEngine(desc graph.CayleyDescriptor, delta int) (*Engine, error) {
 	ca, err := graph.NewCayleyAdjacency(desc)
 	if err != nil {

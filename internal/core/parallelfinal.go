@@ -26,9 +26,12 @@ type parallelAdmission struct {
 }
 
 // SetBuilderParallel is SetBuilder with the growth rounds split across
-// workers — the final-pass variant for multi-million-node graphs. It
-// allocates a fresh Scratch; hot paths should reuse one via an Engine
-// (Options.FinalWorkers) instead.
+// workers — the final-pass variant for multi-million-node graphs. The
+// adjacency may be CSR-backed or implicit (graph.CayleyAdjacency):
+// workers on an implicit adjacency generate neighbours into private
+// buffers, so descriptor-bound engines fan out exactly like CSR ones.
+// It allocates a fresh Scratch; hot paths should reuse one via an
+// Engine (Options.FinalWorkers) instead.
 //
 // The result — U, Parent, Contributors, Rounds, AllHealthy — is
 // identical to the sequential SetBuilder: within a round every frontier
@@ -39,22 +42,29 @@ type parallelAdmission struct {
 // keep testing nodes a sequential sweep would already have admitted.
 // Callers that need the paper's exact look-up economy use the
 // sequential pass; callers that need wall-clock on huge graphs use this
-// one.
-func SetBuilderParallel(g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set, workers int) *SetBuilderResult {
+// one. (The engine's word kernels have a stronger parallel mode that
+// keeps even the look-up count exact — see runWordKernel.)
+func SetBuilderParallel(a graph.Adjacencer, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set, workers int) *SetBuilderResult {
 	if workers = ClampWorkers(workers); workers < 2 {
 		// One hardware thread: the barrier machinery cannot pay for
 		// itself, and the sequential pass is additionally look-up-exact.
-		return SetBuilderInto(NewScratch(g.N()), g, s, u0, delta, restrict)
+		return SetBuilderInto(NewScratch(a.N()), a, s, u0, delta, restrict)
 	}
-	return setBuilderParallelInto(NewScratch(g.N()), g, s, u0, delta, restrict, workers)
+	return setBuilderParallelInto(NewScratch(a.N()), a, s, u0, delta, restrict, workers)
 }
 
 // setBuilderParallelInto runs the parallel growth rounds inside sc.
 // workers must be ≥ 2; each worker takes a sharded syndrome view so
-// look-up counting stays exact without a contended atomic.
-func setBuilderParallelInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set, workers int) *SetBuilderResult {
-	sc.ensure(g.N())
+// look-up counting stays exact without a contended atomic, and (on an
+// implicit adjacency) a private neighbour-generation buffer.
+func setBuilderParallelInto(sc *Scratch, a graph.Adjacencer, s syndrome.Syndrome, u0 int32, delta int, restrict *bitset.Set, workers int) *SetBuilderResult {
+	sc.ensure(a.N())
 	sc.resetTree()
+	csr := graph.CSR(a)
+	var offs, tgts []int32
+	if csr != nil {
+		offs, tgts = csr.Adjacency()
+	}
 	res := &sc.res
 	*res = SetBuilderResult{U: sc.u, Parent: sc.parent, Contributors: sc.contributors}
 	res.U.Add(int(u0))
@@ -63,9 +73,19 @@ func setBuilderParallelInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0
 	in := func(v int32) bool {
 		return restrict == nil || restrict.Contains(int(v))
 	}
+	// neigh enumerates u's neighbours: a zero-copy CSR view, or
+	// generation into the supplied buffer for implicit adjacencies.
+	neigh := func(u int32, buf []int32) ([]int32, []int32) {
+		if csr != nil {
+			return tgts[offs[u]:offs[u+1]], buf
+		}
+		buf = a.AppendNeighbors(u, buf)
+		return buf, buf
+	}
 
 	// Round 1 is the O(Δ²) pair scan of the seed — always in-line.
-	adj := g.Neighbors(u0)
+	var adj []int32
+	adj, sc.nbuf = neigh(u0, sc.nbuf)
 	frontier := sc.frontier[:0]
 	next := sc.next[:0]
 	for i := 0; i < len(adj); i++ {
@@ -101,9 +121,9 @@ func setBuilderParallelInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0
 		res.AllHealthy = true
 	}
 
-	// Per-worker syndrome views and admission buffers, reused across
-	// rounds. Shards are closed before the final count so the parent's
-	// Lookups is exact.
+	// Per-worker syndrome views, admission buffers and neighbour
+	// buffers, reused across rounds. Shards are closed before the final
+	// count so the parent's Lookups is exact.
 	views := make([]syndrome.Syndrome, workers)
 	var shards []*syndrome.Shard
 	for w := range views {
@@ -116,6 +136,7 @@ func setBuilderParallelInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0
 		}
 	}
 	admits := make([][]parallelAdmission, workers)
+	nbufs := make([][]int32, workers)
 
 	added := sc.added
 	var wg sync.WaitGroup
@@ -132,7 +153,9 @@ func setBuilderParallelInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0
 			// is the same either way — see the equivalence note above.
 			for _, u := range frontier {
 				tu := res.Parent[u]
-				for _, v := range g.Neighbors(u) {
+				var nbrs []int32
+				nbrs, sc.nbuf = neigh(u, sc.nbuf)
+				for _, v := range nbrs {
 					if res.U.Contains(int(v)) || !in(v) {
 						continue
 					}
@@ -164,10 +187,13 @@ func setBuilderParallelInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0
 				go func(w, lo, hi int) {
 					defer wg.Done()
 					buf := admits[w][:0]
+					nbuf := nbufs[w]
 					ws := views[w]
 					for _, u := range work[lo:hi] {
 						tu := res.Parent[u]
-						for _, v := range g.Neighbors(u) {
+						var nbrs []int32
+						nbrs, nbuf = neigh(u, nbuf)
+						for _, v := range nbrs {
 							if res.U.Contains(int(v)) || !in(v) {
 								continue
 							}
@@ -177,6 +203,7 @@ func setBuilderParallelInto(sc *Scratch, g *graph.Graph, s syndrome.Syndrome, u0
 						}
 					}
 					admits[w] = buf
+					nbufs[w] = nbuf
 				}(w, lo, hi)
 			}
 			wg.Wait()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
 	"comparisondiag/internal/syndrome"
 	"comparisondiag/internal/topology"
 )
@@ -116,6 +117,253 @@ func TestDiagnoseFinalWorkersMatchesSequential(t *testing.T) {
 		}
 		if sPar.Lookups() != stPar.TotalLookups {
 			t.Fatalf("trial %d: lookup accounting drifted under FinalWorkers", trial)
+		}
+	}
+}
+
+// TestSetBuilderParallelImplicit pins the Adjacencer-generic parallel
+// pass on an implicit (descriptor-backed) adjacency: same tree as the
+// sequential pass, look-ups may only grow, shard accounting exact —
+// the contract the CSR path already pins, now without a CSR.
+func TestSetBuilderParallelImplicit(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	const bitsN = 12
+	masks := make([]int32, bitsN)
+	for i := range masks {
+		masks[i] = 1 << uint(i)
+	}
+	ca, err := graph.NewCayleyAdjacency(graph.XORCayley{Bits: bitsN, Masks: masks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ca.N()
+	delta := bitsN
+	for trial := int64(0); trial < 4; trial++ {
+		F := syndrome.RandomFaults(n, delta, rand.New(rand.NewSource(trial)))
+		seed := int32(0)
+		for F.Contains(int(seed)) {
+			seed++
+		}
+
+		sSeq := syndrome.NewLazy(F, syndrome.Mimic{})
+		seq := SetBuilderInto(NewScratch(n), ca, sSeq, seed, delta, nil)
+
+		sPar := syndrome.NewLazy(F, syndrome.Mimic{})
+		par := SetBuilderParallel(ca, sPar, seed, delta, nil, 4)
+
+		if !seq.U.Equal(par.U) {
+			t.Fatalf("trial %d: U differs on implicit adjacency", trial)
+		}
+		if !slices.Equal(seq.Parent, par.Parent) {
+			t.Fatalf("trial %d: Parent tree differs on implicit adjacency", trial)
+		}
+		if !seq.Contributors.Equal(par.Contributors) {
+			t.Fatalf("trial %d: Contributors differ on implicit adjacency", trial)
+		}
+		if seq.Rounds != par.Rounds || seq.AllHealthy != par.AllHealthy {
+			t.Fatalf("trial %d: rounds/AllHealthy differ: %d/%v vs %d/%v",
+				trial, seq.Rounds, seq.AllHealthy, par.Rounds, par.AllHealthy)
+		}
+		if par.Lookups < seq.Lookups {
+			t.Fatalf("trial %d: parallel pass reported fewer look-ups (%d) than sequential (%d)",
+				trial, par.Lookups, seq.Lookups)
+		}
+		if sPar.Lookups() != par.Lookups {
+			t.Fatalf("trial %d: shard accounting drifted: syndrome %d vs result %d",
+				trial, sPar.Lookups(), par.Lookups)
+		}
+	}
+}
+
+// TestFinalWorkersKernelLookupExact pins the stronger contract of the
+// word-kernel parallel mode: an engine with a bound kernel serving
+// FinalWorkers = 4 produces not just the same fault set but the same
+// look-up count as FinalWorkers = 1 — rounds split at word granularity
+// (see rangedRounder). Checked on a CSR-bound and an implicit engine.
+func TestFinalWorkersKernelLookupExact(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	const bitsN = 12
+	masks := make([]int32, bitsN)
+	for i := range masks {
+		masks[i] = 1 << uint(i)
+	}
+	implicit, err := NewCayleyEngine(graph.XORCayley{Bits: bitsN, Masks: masks}, bitsN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		eng  *Engine
+	}{
+		{"csr", NewEngine(topology.NewHypercube(bitsN))},
+		{"implicit", implicit},
+	} {
+		n := tc.eng.Adjacency().N()
+		delta := tc.eng.Diagnosability()
+		for trial := int64(0); trial < 3; trial++ {
+			F := syndrome.RandomFaults(n, delta, rand.New(rand.NewSource(trial)))
+
+			sSeq := syndrome.NewLazy(F, syndrome.Mimic{})
+			fSeq, stSeq, err := tc.eng.DiagnoseOpts(sSeq, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sPar := syndrome.NewLazy(F, syndrome.Mimic{})
+			fPar, stPar, err := tc.eng.DiagnoseOpts(sPar, Options{FinalWorkers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fSeq.Equal(fPar) {
+				t.Fatalf("%s trial %d: fault sets differ under FinalWorkers", tc.name, trial)
+			}
+			if stPar.FinalWorkersUsed != 4 {
+				t.Fatalf("%s trial %d: FinalWorkersUsed = %d, want 4", tc.name, trial, stPar.FinalWorkersUsed)
+			}
+			// The kernel path keeps everything — including look-ups —
+			// bit-identical, so the whole Stats must match once the
+			// effective-worker stamp is normalised away.
+			norm := *stPar
+			norm.FinalWorkersUsed = stSeq.FinalWorkersUsed
+			if norm != *stSeq {
+				t.Fatalf("%s trial %d: Stats differ under kernel FinalWorkers:\nseq %+v\npar %+v",
+					tc.name, trial, *stSeq, *stPar)
+			}
+			if sPar.Lookups() != stPar.TotalLookups {
+				t.Fatalf("%s trial %d: lookup accounting drifted under FinalWorkers", tc.name, trial)
+			}
+		}
+	}
+}
+
+// TestFinalWorkersUsedStamping pins the effective-fan-out stamp: 0 when
+// no parallelism was requested, 1 when a request could not engage
+// (below the size gate, or a single hardware thread), the engaged
+// count otherwise.
+func TestFinalWorkersUsedStamping(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	small := topology.NewHypercube(8) // 256 nodes: below parallelFinalMinNodes
+	big := topology.NewHypercube(12)
+
+	diag := func(nw topology.Network, opt Options) *Stats {
+		t.Helper()
+		F := syndrome.RandomFaults(nw.Graph().N(), nw.Diagnosability(), rand.New(rand.NewSource(1)))
+		_, st, err := DiagnoseOpts(nw, syndrome.NewLazy(F, syndrome.Mimic{}), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	if got := diag(big, Options{}).FinalWorkersUsed; got != 0 {
+		t.Fatalf("sequential request stamped FinalWorkersUsed = %d, want 0", got)
+	}
+	if got := diag(big, Options{FinalWorkers: 1}).FinalWorkersUsed; got != 0 {
+		t.Fatalf("FinalWorkers=1 stamped FinalWorkersUsed = %d, want 0", got)
+	}
+	if got := diag(small, Options{FinalWorkers: 4}).FinalWorkersUsed; got != 1 {
+		t.Fatalf("below-gate request stamped FinalWorkersUsed = %d, want 1", got)
+	}
+	if got := diag(big, Options{FinalWorkers: 4}).FinalWorkersUsed; got != 4 {
+		t.Fatalf("engaged request stamped FinalWorkersUsed = %d, want 4", got)
+	}
+
+	setGOMAXPROCS(t, 1)
+	if got := diag(big, Options{FinalWorkers: 4}).FinalWorkersUsed; got != 1 {
+		t.Fatalf("single-thread request stamped FinalWorkersUsed = %d, want 1", got)
+	}
+}
+
+// TestFinalWorkersBatchDifferential crosses FinalWorkers ∈ {1, 4} with
+// {CSR, implicit} engines, behaviours and the Share* batch flags: fault
+// sets and the shape fields of Stats must be identical, and look-up
+// counts equal except where the parallel pass documents growth — a
+// ShareFinalPrefix member runs in full under FinalWorkers > 1 instead
+// of resuming the shared checkpoint, so its own totals may only grow.
+func TestFinalWorkersBatchDifferential(t *testing.T) {
+	setGOMAXPROCS(t, 4)
+	const bitsN = 12
+	masks := make([]int32, bitsN)
+	for i := range masks {
+		masks[i] = 1 << uint(i)
+	}
+	implicit, err := NewCayleyEngine(graph.XORCayley{Bits: bitsN, Masks: masks}, bitsN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		eng  *Engine
+	}{
+		{"csr", NewEngine(topology.NewHypercube(bitsN))},
+		{"implicit", implicit},
+	}
+	behaviours := []syndrome.Behavior{syndrome.Mimic{}, syndrome.AllZero{}, syndrome.Inverted{}}
+	shareCombos := []struct {
+		name             string
+		cert, finalShare bool
+	}{
+		{"plain", false, false},
+		{"cert", true, false},
+		{"final", false, true},
+		{"both", true, true},
+	}
+
+	for _, ec := range engines {
+		n := ec.eng.Adjacency().N()
+		delta := ec.eng.Diagnosability()
+		// Two hypotheses × four syndromes each: grouping has real groups.
+		hyp := []*bitset.Set{
+			syndrome.RandomFaults(n, delta, rand.New(rand.NewSource(7))),
+			syndrome.RandomFaults(n, delta-1, rand.New(rand.NewSource(8))),
+		}
+		for _, beh := range behaviours {
+			syns := func() []syndrome.Syndrome {
+				s := make([]syndrome.Syndrome, 8)
+				for i := range s {
+					s[i] = syndrome.NewLazy(hyp[i%2], beh)
+				}
+				return s
+			}
+			for _, combo := range shareCombos {
+				bopt := BatchOptions{ShareCertification: combo.cert, ShareFinalPrefix: combo.finalShare}
+				bopt.Options = Options{FinalWorkers: 1}
+				r1 := ec.eng.DiagnoseBatch(syns(), bopt)
+				bopt.Options = Options{FinalWorkers: 4}
+				r4 := ec.eng.DiagnoseBatch(syns(), bopt)
+				for i := range r1 {
+					if (r1[i].Err == nil) != (r4[i].Err == nil) {
+						t.Fatalf("%s/%s/%s syndrome %d: error divergence: %v vs %v",
+							ec.name, beh.Name(), combo.name, i, r1[i].Err, r4[i].Err)
+					}
+					if r1[i].Err != nil {
+						continue
+					}
+					if !r1[i].Faults.Equal(r4[i].Faults) {
+						t.Fatalf("%s/%s/%s syndrome %d: fault sets differ across FinalWorkers",
+							ec.name, beh.Name(), combo.name, i)
+					}
+					s1, s4 := r1[i].Stats, r4[i].Stats
+					if s1.Delta != s4.Delta || s1.CertifiedPart != s4.CertifiedPart ||
+						s1.Seed != s4.Seed || s1.HealthyCount != s4.HealthyCount ||
+						s1.FaultCount != s4.FaultCount || s1.Rounds != s4.Rounds {
+						t.Fatalf("%s/%s/%s syndrome %d: Stats shape differs:\nfw1 %+v\nfw4 %+v",
+							ec.name, beh.Name(), combo.name, i, s1, s4)
+					}
+					if !combo.finalShare {
+						// Kernel engines split at word granularity: look-ups
+						// stay bit-identical without a shared prefix in play.
+						if s1.TotalLookups != s4.TotalLookups {
+							t.Fatalf("%s/%s/%s syndrome %d: look-ups differ without ShareFinalPrefix: %d vs %d",
+								ec.name, beh.Name(), combo.name, i, s1.TotalLookups, s4.TotalLookups)
+						}
+					} else if s4.TotalLookups < s1.TotalLookups {
+						// Parallel members run in full instead of resuming:
+						// their own consultations may only grow.
+						t.Fatalf("%s/%s/%s syndrome %d: parallel member spent fewer look-ups (%d) than resumed member (%d)",
+							ec.name, beh.Name(), combo.name, i, s4.TotalLookups, s1.TotalLookups)
+					}
+				}
+			}
 		}
 	}
 }

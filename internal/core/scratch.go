@@ -50,6 +50,18 @@ type Scratch struct {
 	// plumbing, not reusable scratch state.
 	prefixRec *finalPrefix
 	prefixRes *finalPrefix
+
+	// finalWorkers asks the next word-kernel final pass to split its
+	// rounds across this many goroutines (runWordKernel). Like the
+	// prefix fields it is per-call plumbing, set and cleared around the
+	// pass by diagnoseInto.
+	finalWorkers int
+
+	// pnext / pnbuf are the per-worker next-frontier and
+	// neighbour-generation buffers of parallel word-kernel rounds,
+	// grown on demand and reused across rounds and calls.
+	pnext [][]int32
+	pnbuf [][]int32
 }
 
 // NewScratch returns a Scratch for graphs on n nodes. The mask and
@@ -117,6 +129,18 @@ func (sc *Scratch) resetTree() {
 	}
 }
 
+// workerBufs returns the per-worker next-frontier and neighbour
+// buffers, grown to hold at least workers entries each.
+func (sc *Scratch) workerBufs(workers int) (pnext, pnbuf [][]int32) {
+	for len(sc.pnext) < workers {
+		sc.pnext = append(sc.pnext, nil)
+	}
+	for len(sc.pnbuf) < workers {
+		sc.pnbuf = append(sc.pnbuf, nil)
+	}
+	return sc.pnext, sc.pnbuf
+}
+
 // fsetBuf returns the reusable (empty) frontier-membership set.
 func (sc *Scratch) fsetBuf() *bitset.Set {
 	if sc.fset == nil {
@@ -147,6 +171,21 @@ func (sc *Scratch) faultsBuf() *bitset.Set {
 		sc.faults = bitset.New(sc.n)
 	}
 	return sc.faults
+}
+
+// ScratchFootprintBytes estimates the resident size of one fully
+// populated Scratch for graphs on n nodes: the dense per-node arrays
+// every diagnosis touches — the parent tree (4 bytes/node), the two
+// frontier buffers (worst case 4 bytes/node each), and the seven
+// word-granular sets and snapshots (U, Contributors, added, part mask,
+// frontier membership, round-start U snapshot, output fault set — one
+// bit/node each). Engines keep one scratch per serving worker in their
+// pool, so a deployment's scratch budget is this figure times the pool
+// size; cmd/topoinfo prints it next to the adjacency memory models
+// (ROADMAP: dense scratch is fine at Q20, revisit at Q24).
+func ScratchFootprintBytes(n int) int64 {
+	words := int64((n + 63) / 64)
+	return 3*4*int64(n) + 7*8*words
 }
 
 // scratchPool recycles Scratches across Diagnose calls so steady-state

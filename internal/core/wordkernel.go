@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 	"slices"
+	"sync"
 
 	"comparisondiag/internal/graph"
 	"comparisondiag/internal/syndrome"
@@ -31,6 +32,24 @@ type wordRounder interface {
 	// word-parallel round beats the reference sweep, fixed at bind time
 	// (see sweepThresholdFor); smaller frontiers take the sweep.
 	sweepThreshold() int
+}
+
+// rangedRounder is the multi-worker half of a wordRounder: one growth
+// round restricted to the candidate words [lo, hi). Splitting a round
+// at word granularity keeps even the look-up count bit-identical to
+// the sequential kernel: every candidate v lives in exactly one word,
+// so exactly one worker tests it; the frontier bitset fw and the
+// parents of frontier testers are frozen for the round; and a
+// same-round admission only ever suppresses later tests of the
+// admitted node itself (its own uw word), which its owning worker
+// observes exactly as the sequential round would. Word ownership is a
+// fixed contiguous range for the whole round — an admission in one
+// step must suppress the same candidate in every later step — and uw
+// reads and writes stay inside the owned range, so workers share no
+// mutable words (see runWordKernel).
+type rangedRounder interface {
+	wordRounder
+	roundRange(fw, uw []uint64, parent []int32, sh *syndrome.Shard, lo, hi int) int
 }
 
 // sweepThresholdFor converts a kernel's fixed round cost (word visits
@@ -146,6 +165,28 @@ func runWordKernel(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, 
 	// frontier, and those rounds must take the order-preserving sweep.
 	sorted := slices.IsSorted(frontier)
 	threshold := k.sweepThreshold()
+	// Parallel fan-out (Options.FinalWorkers, via sc.finalWorkers):
+	// word-granular rounds split their candidate words across workers,
+	// which keeps results AND look-up counts bit-identical to the
+	// sequential kernel (see rangedRounder; the dense sweep defers
+	// membership updates, so its candidate words are independent too).
+	// Each worker counts look-ups on its own syndrome shard, merged
+	// before the final count. diagnoseInto never combines this with a
+	// shared-prefix record/resume (parallel members run in full).
+	workers := sc.finalWorkers
+	rk, ranged := k.(rangedRounder)
+	if !ranged || workers < 2 {
+		workers = 1
+	}
+	var shards []*syndrome.Shard
+	var wadm []int
+	if workers > 1 {
+		shards = make([]*syndrome.Shard, workers)
+		for i := range shards {
+			shards[i] = l.Shard()
+		}
+		wadm = make([]int, workers)
+	}
 	// Contributor bookkeeping is deferred: the contributor set is
 	// exactly the set of parents, reconstructed in one pass at the end,
 	// and the AllHealthy threshold is monotone, so the final count
@@ -165,7 +206,11 @@ func runWordKernel(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, 
 			for _, u := range frontier {
 				fw[u>>6] |= 1 << (uint(u) & 63)
 			}
-			admitted = k.round(fw, uw, parent, l)
+			if workers > 1 && len(frontier) >= parallelFrontierMin {
+				admitted = parallelKernelRound(rk, fw, uw, parent, shards, wadm, workers)
+			} else {
+				admitted = k.round(fw, uw, parent, l)
+			}
 			for _, u := range frontier {
 				fw[u>>6] &^= 1 << (uint(u) & 63)
 			}
@@ -191,34 +236,38 @@ func runWordKernel(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, 
 				fw[u>>6] |= 1 << (uint(u) & 63)
 			}
 			next = next[:0]
-			for wi, w := range uw {
-				inv := ^w
-				if wi == len(uw)-1 {
-					if tail := n & 63; tail != 0 {
-						inv &= 1<<uint(tail) - 1
-					}
-				}
-				for inv != 0 {
-					v := int32(wi<<6 + bits.TrailingZeros64(inv))
-					inv &= inv - 1
-					var nbrs []int32
-					if csr != nil {
-						nbrs = tgts[offs[v]:offs[v+1]]
-					} else {
-						sc.nbuf = a.AppendNeighbors(v, sc.nbuf)
-						nbrs = sc.nbuf
-					}
-					for _, u := range nbrs {
-						if fw[u>>6]&(1<<(uint(u)&63)) == 0 {
-							continue
+			if workers > 1 && n-uCount >= parallelFrontierMin {
+				next, admitted = parallelComplementSweep(sc, a, offs, tgts, uw, fw, parent, shards, wadm, n, workers, next)
+			} else {
+				for wi, w := range uw {
+					inv := ^w
+					if wi == len(uw)-1 {
+						if tail := n & 63; tail != 0 {
+							inv &= 1<<uint(tail) - 1
 						}
-						if l.Test(u, v, parent[u]) != 0 {
-							continue
+					}
+					for inv != 0 {
+						v := int32(wi<<6 + bits.TrailingZeros64(inv))
+						inv &= inv - 1
+						var nbrs []int32
+						if csr != nil {
+							nbrs = tgts[offs[v]:offs[v+1]]
+						} else {
+							sc.nbuf = a.AppendNeighbors(v, sc.nbuf)
+							nbrs = sc.nbuf
 						}
-						parent[v] = u
-						next = append(next, v)
-						admitted++
-						break
+						for _, u := range nbrs {
+							if fw[u>>6]&(1<<(uint(u)&63)) == 0 {
+								continue
+							}
+							if l.Test(u, v, parent[u]) != 0 {
+								continue
+							}
+							parent[v] = u
+							next = append(next, v)
+							admitted++
+							break
+						}
 					}
 				}
 			}
@@ -286,6 +335,9 @@ func runWordKernel(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, 
 		}
 	}
 	res.AllHealthy = res.Contributors.Count() > delta
+	for _, sh := range shards {
+		sh.Close()
+	}
 	res.Lookups = l.Lookups() - start
 	if rec := sc.prefixRec; rec != nil {
 		// Clean to termination: the whole result is behaviour-
@@ -294,4 +346,116 @@ func runWordKernel(sc *Scratch, a graph.Adjacencer, l *syndrome.Lazy, u0 int32, 
 		sc.prefixRec = nil
 	}
 	return res
+}
+
+// parallelKernelRound fans one word-parallel kernel round out across
+// contiguous candidate-word ranges, fixed for the whole round: an
+// admission in one step must suppress the same candidate in every
+// later step, so word ownership cannot move mid-round. Results and
+// look-ups are bit-identical to the sequential round (rangedRounder).
+// It lives outside runWordKernel so the goroutine closures cannot
+// force the driver's hot-loop locals onto the heap on sequential
+// calls.
+func parallelKernelRound(rk rangedRounder, fw, uw []uint64, parent []int32, shards []*syndrome.Shard, wadm []int, workers int) int {
+	words := len(uw)
+	chunk := (words + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, words)
+		wadm[w] = 0
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wadm[w] = rk.roundRange(fw, uw, parent, shards[w], lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	admitted := 0
+	for _, c := range wadm {
+		admitted += c
+	}
+	return admitted
+}
+
+// parallelComplementSweep fans one dense complement-walk round out
+// across candidate-word ranges. Membership is deferred until after the
+// walk even in the sequential sweep, so candidate words are independent
+// and the split keeps the test prefixes — and thus the look-up count —
+// bit-identical. Worker ranges ascend, so concatenating their next
+// buffers in worker order reproduces the sorted frontier.
+func parallelComplementSweep(sc *Scratch, a graph.Adjacencer, offs, tgts []int32, uw, fw []uint64, parent []int32, shards []*syndrome.Shard, wadm []int, n, workers int, next []int32) ([]int32, int) {
+	words := len(uw)
+	chunk := (words + workers - 1) / workers
+	pnext, pnbuf := sc.workerBufs(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, words)
+		wadm[w] = 0
+		pnext[w] = pnext[w][:0]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			pnext[w], pnbuf[w], wadm[w] = complementSweepShard(
+				a, offs, tgts, uw, fw, parent, shards[w], n, lo, hi, pnext[w], pnbuf[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	admitted := 0
+	for w := 0; w < workers; w++ {
+		admitted += wadm[w]
+		next = append(next, pnext[w]...)
+	}
+	return next, admitted
+}
+
+// complementSweepShard is one worker's slice of a parallel dense sweep
+// round: walk the non-members whose ids fall in words [lo, hi) of uw
+// and probe each one's frontier neighbours in ascending order until one
+// vouches. It mirrors the sequential branch of runWordKernel — kept
+// separate (with a concrete *syndrome.Shard) so the sequential path
+// stays devirtualised on *syndrome.Lazy. Membership stays deferred:
+// uw is read-only here, next collects admissions in ascending order.
+func complementSweepShard(a graph.Adjacencer, offs, tgts []int32, uw, fw []uint64, parent []int32, sh *syndrome.Shard, n, lo, hi int, next, nbuf []int32) ([]int32, []int32, int) {
+	admitted := 0
+	csrOK := offs != nil
+	for wi := lo; wi < hi; wi++ {
+		inv := ^uw[wi]
+		if wi == len(uw)-1 {
+			if tail := n & 63; tail != 0 {
+				inv &= 1<<uint(tail) - 1
+			}
+		}
+		for inv != 0 {
+			v := int32(wi<<6 + bits.TrailingZeros64(inv))
+			inv &= inv - 1
+			var nbrs []int32
+			if csrOK {
+				nbrs = tgts[offs[v]:offs[v+1]]
+			} else {
+				nbuf = a.AppendNeighbors(v, nbuf)
+				nbrs = nbuf
+			}
+			for _, u := range nbrs {
+				if fw[u>>6]&(1<<(uint(u)&63)) == 0 {
+					continue
+				}
+				if sh.Test(u, v, parent[u]) != 0 {
+					continue
+				}
+				parent[v] = u
+				next = append(next, v)
+				admitted++
+				break
+			}
+		}
+	}
+	return next, nbuf, admitted
 }
