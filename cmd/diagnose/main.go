@@ -11,6 +11,8 @@
 //	diagnose -net q:14 -trials 64 -cache 256    # + result cache stats
 //	diagnose -net q:14 -faults 8 -final-workers 4   # parallel final pass
 //	diagnose -net q:14 -trials 64 -shards 2 -workers 2  # sharded runtime
+//	diagnose -net q:10 -flap 3                  # 3 remove-restore cycles
+//	diagnose -net q:10 -churn 2 -churn-nodes 5,17   # explicit churn set
 //
 // Patterns: random (default), cluster (BFS ball around node 0),
 // neighborhood (the extremal N(center) configuration).
@@ -32,6 +34,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,6 +61,8 @@ func main() {
 	shareFinal := flag.Bool("share-final", false, "with -trials > 1: share the behaviour-independent final-pass prefix across syndromes of one fault hypothesis")
 	cacheAdmission := flag.Bool("cache-admission", false, "with -cache: admit a result only on its second sighting (scan-resistant admission)")
 	churn := flag.Int("churn", 0, "remove this many random nodes and rebind the engine before diagnosing (degraded mode; routes through the engine even for one trial)")
+	churnNodes := flag.String("churn-nodes", "", "comma-separated node ids to remove instead of random picks (needs -churn or -flap)")
+	flap := flag.Int("flap", 0, "run this many remove-restore cycles before serving: each cycle removes nodes (the -churn-nodes list, or -churn random picks, default 4), rebinds, restores them and rebinds again, reporting both rebinds")
 	finalWorkers := flag.Int("final-workers", 0, "parallel final Set_Builder pass workers on large graphs (0 or 1 = sequential; -1 = GOMAXPROCS); the effective fan-out is reported")
 	shards := flag.Int("shards", 1, "with -trials > 1: engine shards of the runtime, each with its own scratch pool and -workers workers")
 	flag.Parse()
@@ -77,6 +82,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: -churn must be >= 0, got %d\n", *churn)
 		os.Exit(2)
 	}
+	if *flap < 0 {
+		fmt.Fprintf(os.Stderr, "usage: -flap must be >= 0, got %d\n", *flap)
+		os.Exit(2)
+	}
+	// Parse -churn-nodes before touching any graph: a malformed or
+	// out-of-range id is a usage error here, not a panic deep inside
+	// graph.Remove.
+	var churnList []int32
+	if *churnNodes != "" {
+		if *churn == 0 && *flap == 0 {
+			fmt.Fprintln(os.Stderr, "usage: -churn-nodes needs -churn or -flap")
+			os.Exit(2)
+		}
+		for _, fld := range strings.Split(*churnNodes, ",") {
+			fld = strings.TrimSpace(fld)
+			id, err := strconv.Atoi(fld)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "usage: bad -churn-nodes entry %q: %v\n", fld, err)
+				os.Exit(2)
+			}
+			churnList = append(churnList, int32(id))
+		}
+	}
 	if *finalWorkers < -1 {
 		fmt.Fprintf(os.Stderr, "usage: -final-workers must be >= 0 or -1 for GOMAXPROCS, got %d\n", *finalWorkers)
 		os.Exit(2)
@@ -93,6 +121,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: -shards > 1 cannot be combined with -churn (churn rebinds one engine)\n")
 		os.Exit(2)
 	}
+	if *shards > 1 && *flap > 0 {
+		fmt.Fprintf(os.Stderr, "usage: -shards > 1 cannot be combined with -flap (flap cycles rebind one engine)\n")
+		os.Exit(2)
+	}
 	switch strings.ToLower(*pattern) {
 	case "random", "cluster", "neighborhood":
 	default:
@@ -107,6 +139,12 @@ func main() {
 	}
 	g := nw.Graph()
 	delta := nw.Diagnosability()
+	for _, u := range churnList {
+		if u < 0 || int(u) >= g.N() {
+			fmt.Fprintf(os.Stderr, "usage: -churn-nodes id %d out of range for %s (N=%d)\n", u, nw.Name(), g.N())
+			os.Exit(2)
+		}
+	}
 	nFaults := *faults
 	if nFaults < 0 {
 		nFaults = delta
@@ -152,7 +190,7 @@ func main() {
 	fmt.Printf("network     %s: N=%d, M=%d, Δ=%d, κ=%d, δ=%d\n",
 		nw.Name(), g.N(), g.M(), g.MaxDegree(), nw.Connectivity(), delta)
 
-	if *trials > 1 || *churn > 0 {
+	if *trials > 1 || *churn > 0 || *flap > 0 {
 		opt := core.Options{FaultBound: *bound, FinalWorkers: *finalWorkers}
 		if *paper {
 			opt.Strategy = core.StrategyPaper
@@ -160,7 +198,7 @@ func main() {
 		if *cacheCap > 0 {
 			opt.ResultCache = core.NewResultCacheWithAdmission(*cacheCap, *cacheAdmission)
 		}
-		runBatch(nw, behavior, makeFaults, *trials, *workers, *shards, *churn, *seed, nFaults, opt, *shareCert, *shareFinal)
+		runBatch(nw, behavior, makeFaults, *trials, *workers, *shards, *churn, *flap, churnList, *seed, nFaults, opt, *shareCert, *shareFinal)
 		return
 	}
 
@@ -210,11 +248,12 @@ func main() {
 
 // runBatch binds an Engine (or, with shards > 1, one engine per shard)
 // and a persistent campaign.Runtime to the network, optionally churns
-// the engine (remove nodes + incremental rebind) first, diagnoses
+// the engine (remove nodes + incremental rebind) or flaps it
+// (remove-restore cycles, both rebinds reported) first, diagnoses
 // `trials` independent syndromes through the runtime's worker pool and
 // reports aggregate throughput, cache effectiveness, degraded-mode
 // status and the worker-pool trial distribution.
-func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(*graph.Graph, int, int) *bitset.Set, trials, workers, shards, churn int, seed int64, nFaults int, opt core.Options, shareCert, shareFinal bool) {
+func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(*graph.Graph, int, int) *bitset.Set, trials, workers, shards, churn, flap int, churnList []int32, seed int64, nFaults int, opt core.Options, shareCert, shareFinal bool) {
 	engines := make([]*core.Engine, shards)
 	for i := range engines {
 		engines[i] = core.NewEngine(nw)
@@ -224,26 +263,74 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(*
 		fmt.Fprintln(os.Stderr, "batch mode needs a Theorem 1 partition:", err)
 		os.Exit(1)
 	}
-	if churn > 0 {
-		g := eng.Graph()
-		if churn >= g.N() {
-			fmt.Fprintf(os.Stderr, "usage: -churn %d would remove the whole %d-node network\n", churn, g.N())
-			os.Exit(2)
+	var caches []*core.ResultCache
+	if opt.ResultCache != nil {
+		caches = append(caches, opt.ResultCache)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// pickNodes draws k distinct nodes of g, or hands back the explicit
+	// -churn-nodes list (already range-checked against the full network;
+	// re-checked here because a churned engine serves a smaller graph).
+	pickNodes := func(g *graph.Graph, k int) []int32 {
+		if churnList != nil {
+			for _, u := range churnList {
+				if int(u) >= g.N() {
+					fmt.Fprintf(os.Stderr, "usage: -churn-nodes id %d out of range for the current %d-node graph\n", u, g.N())
+					os.Exit(2)
+				}
+			}
+			return churnList
 		}
-		rng := rand.New(rand.NewSource(seed))
-		picked := make(map[int32]bool, churn)
-		gone := make([]int32, 0, churn)
-		for len(gone) < churn {
+		picked := make(map[int32]bool, k)
+		gone := make([]int32, 0, k)
+		for len(gone) < k {
 			u := int32(rng.Intn(g.N()))
 			if !picked[u] {
 				picked[u] = true
 				gone = append(gone, u)
 			}
 		}
-		var caches []*core.ResultCache
-		if opt.ResultCache != nil {
-			caches = append(caches, opt.ResultCache)
+		return gone
+	}
+	if flap > 0 {
+		size := churn
+		if churnList != nil {
+			size = len(churnList)
+		} else if size == 0 {
+			size = 4
 		}
+		if size >= eng.Graph().N() {
+			fmt.Fprintf(os.Stderr, "usage: a flap cycle of %d nodes would remove the whole %d-node network\n", size, eng.Graph().N())
+			os.Exit(2)
+		}
+		for cycle := 1; cycle <= flap; cycle++ {
+			gone := pickNodes(eng.Graph(), size)
+			rr := eng.Graph().Remove(gone, nil)
+			repDown, err := eng.Rebind(rr, caches...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flap cycle %d: removal rebind failed: %v\n", cycle, err)
+				os.Exit(1)
+			}
+			fmt.Printf("flap %d/%d    down: %s\n", cycle, flap, repDown)
+			repUp, err := eng.Rebind(graph.Restore(rr, gone, nil), caches...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flap cycle %d: growth rebind failed: %v\n", cycle, err)
+				os.Exit(1)
+			}
+			fmt.Printf("flap %d/%d    up:   %s\n", cycle, flap, repUp)
+		}
+		if eng.Degraded() {
+			fmt.Printf("flap        %d cycles complete: engine still degraded (δ′=%d)\n", flap, eng.Diagnosability())
+		} else {
+			fmt.Printf("flap        %d cycles complete: engine recovered — δ=%d, kernel=%s\n", flap, eng.Diagnosability(), eng.KernelName())
+		}
+	} else if churn > 0 {
+		g := eng.Graph()
+		if churn >= g.N() {
+			fmt.Fprintf(os.Stderr, "usage: -churn %d would remove the whole %d-node network\n", churn, g.N())
+			os.Exit(2)
+		}
+		gone := pickNodes(g, churn)
 		rep, err := eng.Rebind(g.RemoveNodes(gone), caches...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rebind failed:", err)

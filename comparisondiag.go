@@ -134,9 +134,17 @@ type (
 	// GraphRemoval is the delta of Graph.RemoveNodes/RemoveEdges: the
 	// compacted surviving component plus the old↔new id maps.
 	GraphRemoval = graph.Removal
+	// GraphGrowth is the gain-direction delta of RestoreGraph (or
+	// Graph.Flap): the regrown component, its id maps, and a Remaining
+	// removal for whatever is still missing.
+	GraphGrowth = graph.Growth
+	// GraphDelta is the sealed union of *GraphRemoval and *GraphGrowth
+	// accepted by Engine.Rebind and Engine.Survivor.
+	GraphDelta = graph.Delta
 	// RebindReport summarises one Engine.Rebind or Engine.Survivor
-	// derivation: node/edge losses, δ→δ′, partition survival, kernel
-	// fallback and cache remapping.
+	// derivation: node/edge losses, δ→δ′ descent or ascent, partition
+	// survival/re-growth, kernel fallback or promotion, and cache
+	// remapping.
 	RebindReport = core.RebindReport
 	// FaultPlan is a deterministic, seedable network fault-injection
 	// schedule for the BSP simulator (drops, duplicates, delays, slow
@@ -146,11 +154,21 @@ type (
 	SlowLink = distsim.SlowLink
 	// Crash silences one node from a given round on.
 	Crash = distsim.Crash
+	// Rejoin returns a crashed node to service from a given round on.
+	Rejoin = distsim.Rejoin
+	// RecoveryPlan schedules node re-joins against a FaultPlan's
+	// crashes (see CollectServer.ReplayRecovering).
+	RecoveryPlan = distsim.RecoveryPlan
 	// FaultStats counts a run's injected faults.
 	FaultStats = distsim.FaultStats
 	// FaultEvent is one injected fault in a run's replayable ledger.
 	FaultEvent = distsim.FaultEvent
 )
+
+// RestoreGraph re-admits removed nodes/edges into a removal's
+// survivor, producing the GraphGrowth that Engine.Rebind ascends with;
+// a full restore reproduces the original graph bit-identically.
+var RestoreGraph = graph.Restore
 
 // Faulty-tester behaviours (see syndrome.Behavior).
 type (
@@ -286,6 +304,10 @@ var (
 	// admit-on-second-sight admission policy (scan resistance; see
 	// docs/churn.md).
 	NewResultCacheWithAdmission = core.NewResultCacheWithAdmission
+	// NewResultCacheWithSketch is NewResultCache with count-min-sketch
+	// admission: a key is admitted after an estimated threshold
+	// sightings, with periodic counter aging (see docs/churn.md).
+	NewResultCacheWithSketch = core.NewResultCacheWithSketch
 	// ClampWorkers normalises a worker count against GOMAXPROCS.
 	ClampWorkers = core.ClampWorkers
 	// CertifyPart is the scan certificate for a partition cell.

@@ -52,6 +52,90 @@ type ResultCache struct {
 	// admit an entry one sighting early, never corrupt a result.
 	admitOnSecond bool
 	seen          map[uint64]struct{}
+
+	// sketch generalises the admission gate to a frequency threshold: a
+	// count-min sketch over hypothesis keys estimates how often each
+	// has completed, and an insert is admitted only once the estimate
+	// reaches sketchThreshold sightings. Collisions can at worst admit
+	// early (count-min never under-estimates its own increments), never
+	// corrupt a result.
+	sketch          *cmSketch
+	sketchThreshold int
+}
+
+// cmSketch is a small count-min sketch with saturating byte counters:
+// cmRows rows of one power-of-two-wide counter array, indexed by
+// independent mixes of the entry hash. Periodic halving (every
+// width*cmAgeFactor increments) ages historic frequencies out, so a
+// hypothesis that stopped recurring eventually has to earn admission
+// again. Guarded by the cache mutex.
+type cmSketch struct {
+	counters [cmRows][]uint8
+	mask     uint64
+	adds     int
+	resets   int64
+}
+
+const (
+	cmRows      = 4
+	cmAgeFactor = 16
+)
+
+// newCMSketch sizes the sketch for a cache of the given capacity: 8
+// counters per row per cache slot (floor 256) keeps the collision rate
+// negligible for the admission use case at a few KiB per row.
+func newCMSketch(capacity int) *cmSketch {
+	width := 256
+	for width < 8*capacity {
+		width *= 2
+	}
+	s := &cmSketch{mask: uint64(width - 1)}
+	for r := range s.counters {
+		s.counters[r] = make([]uint8, width)
+	}
+	return s
+}
+
+// addEstimate records one sighting of hash h and returns the count-min
+// estimate including it, halving every counter first when the aging
+// window is up.
+func (s *cmSketch) addEstimate(h uint64) int {
+	if s.adds >= len(s.counters[0])*cmAgeFactor {
+		for r := range s.counters {
+			for i := range s.counters[r] {
+				s.counters[r][i] /= 2
+			}
+		}
+		s.adds = 0
+		s.resets++
+	}
+	s.adds++
+	est := int(^uint(0) >> 1)
+	x := h
+	for r := range s.counters {
+		// Distinct odd-multiplier mixes give the rows independent views
+		// of the same key (splitmix-style finalisation).
+		x = (x ^ (x >> 31)) * 0x9e3779b97f4a7c15
+		i := x & s.mask
+		if c := s.counters[r][i]; c < 255 {
+			s.counters[r][i] = c + 1
+		}
+		if v := int(s.counters[r][i]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// clear zeroes the sketch (on Rebind: frequencies in old-id space say
+// nothing about the new world).
+func (s *cmSketch) clear() {
+	for r := range s.counters {
+		for i := range s.counters[r] {
+			s.counters[r][i] = 0
+		}
+	}
+	s.adds = 0
 }
 
 // cacheEntry is one memoised diagnosis. All fields are immutable after
@@ -106,6 +190,26 @@ func NewResultCacheWithAdmission(capacity int, admitOnSecond bool) *ResultCache 
 	return c
 }
 
+// NewResultCacheWithSketch returns a cache whose admission is gated by
+// a count-min frequency sketch over hypothesis keys — the
+// generalisation of admit-on-second-sight to an arbitrary recurrence
+// threshold: a completed diagnosis is admitted only once its key has
+// been sighted at least threshold times (the current completion
+// included), so with threshold 2 the first sighting is declined like
+// admit-on-second-sight, and higher thresholds reserve the LRU for
+// genuinely hot hypotheses. Declined inserts count in
+// CacheStats.Bypassed; the sketch ages by periodic halving
+// (CacheStats.SketchResets) so cooled-off keys have to earn admission
+// again. threshold ≤ 1 admits everything, like NewResultCache.
+func NewResultCacheWithSketch(capacity, threshold int) *ResultCache {
+	c := NewResultCache(capacity)
+	if threshold > 1 {
+		c.sketch = newCMSketch(c.capacity)
+		c.sketchThreshold = threshold
+	}
+	return c
+}
+
 // seenBound caps the admission-policy sighting set at a multiple of the
 // cache capacity; past it the set is cleared wholesale (an O(1) reset
 // beats tracking per-key recency for what is only a heuristic).
@@ -116,9 +220,14 @@ func (c *ResultCache) seenBound() int { return 8 * c.capacity }
 type CacheStats struct {
 	Hits, Misses, Evictions int64
 	// Bypassed counts completed diagnoses the admission policy declined
-	// to cache (first sightings under admit-on-second-sight); always 0
+	// to cache (first sightings under admit-on-second-sight,
+	// below-threshold sightings under the frequency sketch); always 0
 	// under the default admit-everything policy.
-	Bypassed          int64
+	Bypassed int64
+	// SketchResets counts aging halvings of the frequency sketch
+	// (NewResultCacheWithSketch only); a growing value means the
+	// admission gate is live and recurrence is being re-earned.
+	SketchResets      int64
 	Entries, Capacity int
 }
 
@@ -126,11 +235,15 @@ type CacheStats struct {
 func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
+	st := CacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 		Bypassed: c.bypassed,
 		Entries:  c.ll.Len(), Capacity: c.capacity,
 	}
+	if c.sketch != nil {
+		st.SketchResets = c.sketch.resets
+	}
+	return st
 }
 
 // cacheable reports whether the syndrome can act as a cache key: its
@@ -245,6 +358,12 @@ func (c *ResultCache) insert(lz *syndrome.Lazy, delta int, strat Strategy, epoch
 			return
 		}
 	}
+	if c.sketch != nil {
+		if c.sketch.addEstimate(h) < c.sketchThreshold {
+			c.bypassed++
+			return
+		}
+	}
 	for _, el := range c.byHash[h] {
 		old := el.Value.(*cacheEntry)
 		if old.delta == delta && old.strategy == strat && old.epoch == epoch && old.behavior == b && old.faults.Equal(e.faults) {
@@ -257,22 +376,25 @@ func (c *ResultCache) insert(lz *syndrome.Lazy, delta int, strat Strategy, epoch
 	}
 }
 
-// Rebind rewrites the cache for an engine rebound across a graph
-// removal (normally invoked through Engine.Rebind, which passes the
-// right arguments). Entries that cannot survive the churn are flushed:
-// any entry touching a removed id (in its key hypothesis, its result
-// fault set, or its recorded seed), any errored or bound-tightened
-// entry, and any entry whose hypothesis exceeds the degraded bound.
-// The rest are replaced — never mutated, since hits read entries after
-// the lock is released — by remapped clones in new-id space, keyed to
-// the new epoch and bound: their fault sets are exactly what a fresh
-// degraded diagnosis of the same hypothesis would report (Theorem 1
-// makes the result a pure function of the hypothesis while it respects
-// the bound). The remapped Stats keep the populating run's cost
-// profile (look-up counts, parts scanned) from before the churn, with
-// Delta/Degraded/EffectiveDelta rewritten to the degraded binding;
-// LRU order and the admission sighting set are reset wholesale.
-func (c *ResultCache) Rebind(oldToNew []int32, newN, oldDelta, newDelta int, epoch uint64) (flushed, kept int) {
+// Rebind rewrites the cache for an engine rebound across a churn delta
+// (normally invoked through Engine.Rebind, which passes the right
+// arguments — in the growth direction the map is the total
+// SurvivorToNew, so no entry is lost to missing ids). Entries that
+// cannot survive the churn are flushed: any entry touching a gone id
+// (in its key hypothesis, its result fault set, or its recorded seed),
+// any errored or bound-tightened entry, and any entry whose hypothesis
+// exceeds the new bound. The rest are replaced — never mutated, since
+// hits read entries after the lock is released — by remapped clones in
+// new-id space, keyed to the new epoch and bound: their fault sets are
+// exactly what a fresh diagnosis of the same hypothesis would report
+// (Theorem 1 makes the result a pure function of the hypothesis while
+// it respects the bound). The remapped Stats keep the populating run's
+// cost profile (look-up counts, parts scanned) from before the churn,
+// with Delta/Degraded/EffectiveDelta rewritten to the new binding —
+// degraded reports the rebound engine's stamp, so a full recovery
+// clears the fields exactly as live diagnoses would. LRU order, the
+// admission sighting set and the frequency sketch are reset wholesale.
+func (c *ResultCache) Rebind(oldToNew []int32, newN, oldDelta, newDelta int, epoch uint64, degraded bool) (flushed, kept int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	oldLL := c.ll
@@ -281,9 +403,12 @@ func (c *ResultCache) Rebind(oldToNew []int32, newN, oldDelta, newDelta int, epo
 	if c.seen != nil {
 		clear(c.seen)
 	}
+	if c.sketch != nil {
+		c.sketch.clear()
+	}
 	for el := oldLL.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*cacheEntry)
-		ne, ok := remapEntry(e, oldToNew, newN, oldDelta, newDelta, epoch)
+		ne, ok := remapEntry(e, oldToNew, newN, oldDelta, newDelta, epoch, degraded)
 		if !ok {
 			flushed++
 			continue
@@ -296,7 +421,7 @@ func (c *ResultCache) Rebind(oldToNew []int32, newN, oldDelta, newDelta int, epo
 
 // remapEntry builds the post-churn replacement for one entry, or
 // reports that it must be flushed.
-func remapEntry(e *cacheEntry, oldToNew []int32, newN, oldDelta, newDelta int, epoch uint64) (*cacheEntry, bool) {
+func remapEntry(e *cacheEntry, oldToNew []int32, newN, oldDelta, newDelta int, epoch uint64, degraded bool) (*cacheEntry, bool) {
 	if e.err != nil || e.delta != oldDelta || e.resFaults == nil {
 		return nil, false
 	}
@@ -317,8 +442,12 @@ func remapEntry(e *cacheEntry, oldToNew []int32, newN, oldDelta, newDelta int, e
 	st := e.stats
 	st.Seed = oldToNew[e.stats.Seed]
 	st.Delta = newDelta
-	st.Degraded = true
-	st.EffectiveDelta = newDelta
+	st.Degraded = degraded
+	if degraded {
+		st.EffectiveDelta = newDelta
+	} else {
+		st.EffectiveDelta = 0
+	}
 	return &cacheEntry{
 		hash:      cacheHash(key, e.behavior, newDelta, e.strategy),
 		faults:    key,

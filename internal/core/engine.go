@@ -77,7 +77,16 @@ type binding struct {
 
 	// degraded marks a binding produced by churn (Rebind/Survivor):
 	// diagnoses are stamped Stats.Degraded with EffectiveDelta = delta.
+	// A growth rebind that restores the full pre-churn structure clears
+	// it again (unless the anchor itself was degraded).
 	degraded bool
+
+	// prev anchors the recovery direction: for a removal-derived binding
+	// it is the binding the removal was applied to, and growth-derived
+	// bindings inherit it unchanged — so prev always holds the world a
+	// graph.Growth's OldToNew map speaks about (its parts are what
+	// RegrowParts regrows toward). nil for bindings never churned.
+	prev *binding
 
 	// epoch counts rebinds. ResultCache entries are keyed on it, so an
 	// in-flight diagnosis racing a Rebind can never publish a pre-churn

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+	"comparisondiag/internal/syndrome"
+	"comparisondiag/internal/topology"
+)
+
+// The flap tier of the golden corpus: each fixture walks one engine
+// through a full churn cycle — pristine, degraded after a removal,
+// still-degraded after a partial restore, recovered after the full
+// restore — and pins the served fault set and the per-phase look-up
+// split at every stop. A change to the rebind path that shifts any
+// phase's cost profile is a visible diff in testdata/golden/flap/.
+//
+// Regenerate with:
+//
+//	go test ./internal/core -run GoldenFlap -update-golden
+
+// goldenFlapPhase pins one diagnosis in one phase of the cycle. Fault
+// ids are in the phase graph's own id space (survivor ids while
+// degraded, original ids before and after).
+type goldenFlapPhase struct {
+	Faults     []int32     `json:"faults"`
+	WantErr    string      `json:"wantErr,omitempty"`
+	WantFaults []int32     `json:"wantFaults,omitempty"`
+	WantStats  goldenStats `json:"wantStats"`
+}
+
+type goldenFlapFixture struct {
+	Net          string     `json:"net"`
+	Behavior     string     `json:"behavior"`
+	BehaviorSeed uint64     `json:"behaviorSeed,omitempty"`
+	RemoveNodes  []int32    `json:"removeNodes"`
+	RemoveEdges  [][2]int32 `json:"removeEdges,omitempty"`
+	RestoreFirst int        `json:"restoreFirst"`
+
+	Before  goldenFlapPhase `json:"before"`
+	During  goldenFlapPhase `json:"during"`
+	Partial goldenFlapPhase `json:"partial"`
+	After   goldenFlapPhase `json:"after"`
+}
+
+var goldenFlapCases = []struct {
+	name         string
+	net          string
+	behavior     string
+	bseed        uint64
+	removeNodes  []int32
+	removeEdges  [][2]int32
+	restoreFirst int
+}{
+	{"q8-flap-mimic", "q:8", "mimic", 0, []int32{3, 60, 129, 200}, [][2]int32{{0, 1}}, 2},
+	{"kary4x3-flap-allzero", "kary:4,3", "allzero", 0, []int32{5, 17, 33}, nil, 1},
+	{"q10-flap-random", "q:10", "random", 7, []int32{100, 400, 900}, nil, 2},
+}
+
+const flapPhases = 4
+
+var flapPhaseNames = [flapPhases]string{"before", "during", "partial", "after"}
+
+func goldenFlapPath(name string) string {
+	return filepath.Join("testdata", "golden", "flap", name+".json")
+}
+
+// runFlapPhases drives the engine through the four-phase cycle, calling
+// pick to choose the fault set diagnosed in each phase and visit with
+// the outcome. The removal and the two restore waves happen between
+// phases 0→1, 1→2 and 2→3.
+func runFlapPhases(t *testing.T, nw topology.Network, behavior syndrome.Behavior,
+	removeNodes []int32, removeEdges [][2]int32, restoreFirst int,
+	pick func(phase int, eng *Engine) *bitset.Set,
+	visit func(phase int, F *bitset.Set, got *bitset.Set, st *Stats, derr error)) {
+	t.Helper()
+	eng := NewEngine(nw)
+	var rr *graph.Removal
+	var gr *graph.Growth
+	for phase := 0; phase < flapPhases; phase++ {
+		switch phase {
+		case 1:
+			rr = eng.Graph().Remove(removeNodes, removeEdges)
+			if _, err := eng.Rebind(rr); err != nil {
+				t.Fatalf("phase %s: removal rebind: %v", flapPhaseNames[phase], err)
+			}
+			if !eng.Degraded() {
+				t.Fatalf("phase %s: engine not degraded after removal", flapPhaseNames[phase])
+			}
+		case 2:
+			gr = graph.Restore(rr, removeNodes[:restoreFirst], nil)
+			if _, err := eng.Rebind(gr); err != nil {
+				t.Fatalf("phase %s: partial growth rebind: %v", flapPhaseNames[phase], err)
+			}
+		case 3:
+			full := graph.Restore(gr.Remaining, removeNodes[restoreFirst:], removeEdges)
+			if _, err := eng.Rebind(full); err != nil {
+				t.Fatalf("phase %s: full growth rebind: %v", flapPhaseNames[phase], err)
+			}
+			if eng.Degraded() {
+				t.Fatalf("phase %s: engine still degraded after full restore", flapPhaseNames[phase])
+			}
+		}
+		F := pick(phase, eng)
+		got, st, derr := eng.Diagnose(syndrome.NewLazy(F, behavior))
+		visit(phase, F, got, st, derr)
+	}
+}
+
+// TestGoldenFlapSyndromes replays the committed flap corpus.
+func TestGoldenFlapSyndromes(t *testing.T) {
+	if *updateGolden {
+		writeGoldenFlapFixtures(t)
+	}
+	files, err := filepath.Glob(goldenFlapPath("*"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no flap golden fixtures found (%v); run with -update-golden to create them", err)
+	}
+	for _, path := range files {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fx goldenFlapFixture
+			if err := json.Unmarshal(raw, &fx); err != nil {
+				t.Fatal(err)
+			}
+			nw, err := topology.Parse(fx.Net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			phases := [flapPhases]*goldenFlapPhase{&fx.Before, &fx.During, &fx.Partial, &fx.After}
+			runFlapPhases(t, nw, goldenBehavior(fx.Behavior, fx.BehaviorSeed),
+				fx.RemoveNodes, fx.RemoveEdges, fx.RestoreFirst,
+				func(phase int, eng *Engine) *bitset.Set {
+					return bitset.FromMembers(eng.Graph().N(), phases[phase].Faults)
+				},
+				func(phase int, F, got *bitset.Set, st *Stats, derr error) {
+					px := phases[phase]
+					label := flapPhaseNames[phase]
+					if px.WantErr != "" {
+						if derr == nil || !strings.Contains(derr.Error(), px.WantErr) {
+							t.Fatalf("%s: err %v, fixture wants %q", label, derr, px.WantErr)
+						}
+					} else if derr != nil {
+						t.Fatalf("%s: unexpected error %v", label, derr)
+					} else if !got.Equal(bitset.FromMembers(got.Len(), px.WantFaults)) {
+						t.Fatalf("%s: fault set %v differs from fixture %v", label, got, px.WantFaults)
+					}
+					if g := statsToGolden(st); g != px.WantStats {
+						t.Fatalf("%s: stats drifted from golden fixture:\n got %+v\nwant %+v", label, g, px.WantStats)
+					}
+				})
+		})
+	}
+}
+
+// writeGoldenFlapFixtures regenerates the flap corpus. Fault sets are
+// drawn within each phase's effective δ′ so every phase serves a
+// successful diagnosis.
+func writeGoldenFlapFixtures(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join("testdata", "golden", "flap"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenFlapCases {
+		nw, err := topology.Parse(c.net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx := goldenFlapFixture{
+			Net: c.net, Behavior: c.behavior, BehaviorSeed: c.bseed,
+			RemoveNodes: c.removeNodes, RemoveEdges: c.removeEdges, RestoreFirst: c.restoreFirst,
+		}
+		phases := [flapPhases]*goldenFlapPhase{&fx.Before, &fx.During, &fx.Partial, &fx.After}
+		rng := rand.New(rand.NewSource(int64(len(c.name)) * 7919))
+		runFlapPhases(t, nw, goldenBehavior(c.behavior, c.bseed),
+			c.removeNodes, c.removeEdges, c.restoreFirst,
+			func(phase int, eng *Engine) *bitset.Set {
+				return syndrome.RandomFaults(eng.Graph().N(), eng.Diagnosability(), rng)
+			},
+			func(phase int, F, got *bitset.Set, st *Stats, derr error) {
+				px := phases[phase]
+				px.Faults = F.Members32()
+				if derr != nil {
+					px.WantErr = derr.Error()
+				} else {
+					px.WantFaults = got.Members32()
+				}
+				px.WantStats = statsToGolden(st)
+			})
+		raw, err := json.MarshalIndent(&fx, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFlapPath(c.name), append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("golden: wrote %s\n", goldenFlapPath(c.name))
+	}
+}

@@ -42,6 +42,11 @@ type goldenStats struct {
 	CertLookups   int64 `json:"certLookups"`
 	FinalLookups  int64 `json:"finalLookups"`
 	TotalLookups  int64 `json:"totalLookups"`
+
+	// Churn stamps: zero on pristine engines, populated by the flap tier
+	// of the corpus for the degraded phases.
+	Degraded       bool `json:"degraded,omitempty"`
+	EffectiveDelta int  `json:"effectiveDelta,omitempty"`
 }
 
 type goldenFixture struct {
@@ -130,6 +135,7 @@ func statsToGolden(st *Stats) goldenStats {
 		Seed: st.Seed, HealthyCount: st.HealthyCount, FaultCount: st.FaultCount,
 		Rounds: st.Rounds, CertLookups: st.CertLookups, FinalLookups: st.FinalLookups,
 		TotalLookups: st.TotalLookups,
+		Degraded:     st.Degraded, EffectiveDelta: st.EffectiveDelta,
 	}
 }
 

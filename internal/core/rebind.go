@@ -16,34 +16,52 @@ import (
 var ErrNoSurvivingPartition = errors.New("core: churn left no valid Theorem 1 partition on the surviving component")
 
 // RebindReport describes what one Rebind or Survivor call did — the
-// observability record for churn events.
+// observability record for churn events, in both directions.
 type RebindReport struct {
 	OldN, NewN int // graph sizes before/after
+
+	// Grew distinguishes the delta direction: false for a removal
+	// rebind, true for a growth rebind. The loss census fields are zero
+	// on growth rebinds and vice versa.
+	Grew bool
 
 	// Churn census, copied from the graph.Removal: explicitly removed
 	// nodes, explicitly removed surviving-relevant edges, and nodes
 	// stranded outside the largest surviving component.
 	RemovedNodes, RemovedEdges, Stranded int
 
+	// Recovery census, copied from the graph.Growth: nodes explicitly
+	// re-admitted, stranded survivors reconnected, and pre-churn nodes
+	// still gone after the growth.
+	Readmitted, Reconnected, StillGone int
+
 	// BaseDelta is the δ of the original (pre-churn) bind;
 	// EffectiveDelta is the degraded bound δ′ the rebound engine serves.
 	BaseDelta, EffectiveDelta int
 
-	// Partition survival census (see topology.SurviveParts): parts
+	// Partition census. On removals (topology.SurviveParts): parts
 	// remapped untouched, parts trimmed and re-validated successfully,
-	// and parts dropped. PartsErr records the rebound engine's
-	// partition error (ErrNoSurvivingPartition, or a carried-over
-	// pre-churn error), nil when the engine can serve.
-	PartsKept, PartsRepaired, PartsDropped int
-	PartsErr                               error
+	// and parts dropped. On growths (topology.RegrowParts): PartsKept
+	// counts parts serving their pre-growth membership, PartsRepaired
+	// counts parts that regrew, PartsReadmitted counts parts with no
+	// served counterpart that re-validated from scratch. PartsErr
+	// records the rebound engine's partition error
+	// (ErrNoSurvivingPartition, or a carried-over pre-churn error), nil
+	// when the engine can serve.
+	PartsKept, PartsRepaired, PartsReadmitted, PartsDropped int
+	PartsErr                                                error
 
 	// Final-pass kernel transition. When a declared/bound Cayley
 	// descriptor no longer verifies on the surviving component the
 	// engine falls back to the generic kernel and
 	// KernelFallbackReason says why; empty when the kernel carried
-	// over (or there was none).
+	// over (or there was none). The descriptor itself is kept through
+	// the fallback, and a growth rebind re-verifies it: once the full
+	// structure returns the specialised kernel re-binds automatically,
+	// recorded in KernelPromotion.
 	KernelBefore, KernelAfter string
 	KernelFallbackReason      string
+	KernelPromotion           string
 
 	// Result-cache census over the caches passed to Rebind: entries
 	// flushed because they could not survive the churn, and entries
@@ -53,17 +71,30 @@ type RebindReport struct {
 
 // String renders the report as a single human-readable line.
 func (r *RebindReport) String() string {
-	s := fmt.Sprintf("rebind %d->%d nodes (-%d nodes, -%d edges, %d stranded): delta %d->%d, parts %d kept/%d repaired/%d dropped, kernel %s->%s, cache %d flushed/%d kept",
-		r.OldN, r.NewN, r.RemovedNodes, r.RemovedEdges, r.Stranded,
-		r.BaseDelta, r.EffectiveDelta,
-		r.PartsKept, r.PartsRepaired, r.PartsDropped,
-		r.KernelBefore, r.KernelAfter,
-		r.CacheFlushed, r.CacheKept)
+	var s string
+	if r.Grew {
+		s = fmt.Sprintf("regrow %d->%d nodes (+%d readmitted, +%d reconnected, %d still gone): delta %d->%d, parts %d kept/%d regrown/%d readmitted/%d dropped, kernel %s->%s, cache %d flushed/%d kept",
+			r.OldN, r.NewN, r.Readmitted, r.Reconnected, r.StillGone,
+			r.BaseDelta, r.EffectiveDelta,
+			r.PartsKept, r.PartsRepaired, r.PartsReadmitted, r.PartsDropped,
+			r.KernelBefore, r.KernelAfter,
+			r.CacheFlushed, r.CacheKept)
+	} else {
+		s = fmt.Sprintf("rebind %d->%d nodes (-%d nodes, -%d edges, %d stranded): delta %d->%d, parts %d kept/%d repaired/%d dropped, kernel %s->%s, cache %d flushed/%d kept",
+			r.OldN, r.NewN, r.RemovedNodes, r.RemovedEdges, r.Stranded,
+			r.BaseDelta, r.EffectiveDelta,
+			r.PartsKept, r.PartsRepaired, r.PartsDropped,
+			r.KernelBefore, r.KernelAfter,
+			r.CacheFlushed, r.CacheKept)
+	}
 	if r.PartsErr != nil {
 		s += fmt.Sprintf(" [parts: %v]", r.PartsErr)
 	}
 	if r.KernelFallbackReason != "" {
 		s += fmt.Sprintf(" [kernel: %s]", r.KernelFallbackReason)
+	}
+	if r.KernelPromotion != "" {
+		s += fmt.Sprintf(" [kernel: %s]", r.KernelPromotion)
 	}
 	return s
 }
@@ -101,13 +132,22 @@ func (r *RebindReport) String() string {
 // changes nothing — when the removal is malformed (wrong graph, empty
 // survivor).
 //
-// Rebinds compose: a second Rebind takes a Removal produced from the
-// current (post-churn) graph.
-func (e *Engine) Rebind(rr *graph.Removal, caches ...*ResultCache) (*RebindReport, error) {
+// Rebinds compose in both directions: a second Rebind takes a Removal
+// produced from the current (post-churn) graph, and a growth rebind
+// takes a graph.Growth produced by graph.Restore from the removal the
+// engine last survived (or from a previous growth's Remaining). A
+// growth ascends: δ′ grows back toward δ under the same budget formula
+// run in reverse, dropped parts are re-admitted (topology.RegrowParts),
+// the kept descriptor is re-verified so the specialised kernel
+// re-binds once full structure returns, cache entries are remapped
+// through the growth's total survivor id map, and a growth that
+// restores the complete pre-churn structure clears the degraded stamp
+// — diagnoses become bit-identical to a fresh bind's.
+func (e *Engine) Rebind(d graph.Delta, caches ...*ResultCache) (*RebindReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	b := e.bnd.Load()
-	nb, rep, err := deriveBinding(b, rr)
+	nb, rep, idMap, err := deriveDelta(b, d)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +159,7 @@ func (e *Engine) Rebind(rr *graph.Removal, caches ...*ResultCache) (*RebindRepor
 		if c == nil {
 			continue
 		}
-		fl, kp := c.Rebind(rr.OldToNew, nb.g.N(), b.delta, nb.delta, nb.epoch)
+		fl, kp := c.Rebind(idMap, nb.g.N(), b.delta, nb.delta, nb.epoch, nb.degraded)
 		rep.CacheFlushed += fl
 		rep.CacheKept += kp
 	}
@@ -127,20 +167,43 @@ func (e *Engine) Rebind(rr *graph.Removal, caches ...*ResultCache) (*RebindRepor
 	return rep, nil
 }
 
-// Survivor derives a new degraded engine for the removal's surviving
-// component without touching e — the non-mutating sibling of Rebind for
-// callers that want to keep serving the original binding (or diagnose
-// a hypothetical churn). The derivation is identical to Rebind's; the
+// Survivor derives a new engine for the delta's resulting component
+// without touching e — the non-mutating sibling of Rebind for callers
+// that want to keep serving the original binding (or diagnose a
+// hypothetical churn). The derivation is identical to Rebind's; the
 // new engine starts with its own empty scratch pool, and no caches are
 // rewritten (pass the survivor its own fresh ResultCache).
-func (e *Engine) Survivor(rr *graph.Removal) (*Engine, *RebindReport, error) {
-	nb, rep, err := deriveBinding(e.bnd.Load(), rr)
+func (e *Engine) Survivor(d graph.Delta) (*Engine, *RebindReport, error) {
+	nb, rep, _, err := deriveDelta(e.bnd.Load(), d)
 	if err != nil {
 		return nil, nil, err
 	}
 	ne := &Engine{name: e.name}
 	ne.bnd.Store(nb)
 	return ne, rep, nil
+}
+
+// deriveDelta dispatches on the delta direction and returns the id map
+// the caches remap through: the removal's OldToNew (partial — flushes
+// entries touching removed ids) or the growth's SurvivorToNew (total —
+// every entry of the served component survives a growth).
+func deriveDelta(b *binding, d graph.Delta) (*binding, *RebindReport, []int32, error) {
+	switch dd := d.(type) {
+	case *graph.Removal:
+		nb, rep, err := deriveBinding(b, dd)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return nb, rep, dd.OldToNew, nil
+	case *graph.Growth:
+		nb, rep, err := deriveGrowth(b, dd)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return nb, rep, dd.SurvivorToNew, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("core: unknown churn delta %T", d)
+	}
 }
 
 // deriveBinding computes the degraded binding for a removal applied to
@@ -169,6 +232,7 @@ func deriveBinding(b *binding, rr *graph.Removal) (*binding, *RebindReport, erro
 		adj:       g2,
 		baseDelta: b.baseDelta,
 		epoch:     b.epoch + 1,
+		prev:      b, // the world a later graph.Restore regrows toward
 	}
 
 	// Connectivity budget: each removed node or edge can lower κ by at
@@ -242,10 +306,13 @@ func deriveBinding(b *binding, rr *graph.Removal) (*binding, *RebindReport, erro
 
 	// Kernel survival: the bound descriptor described the old
 	// adjacency; trust it on the survivor only if it verifies there.
-	if b.kernel != nil && b.desc != nil {
+	// The descriptor itself is carried through a fallback — it still
+	// describes the pre-churn structure, which is exactly what a growth
+	// rebind needs to re-verify for the generic→kernel promotion.
+	if b.desc != nil {
+		nb.desc = b.desc
 		if err := graph.VerifyCayley(g2, b.desc); err == nil {
 			nb.kernel = bindFinalKernel(b.desc, g2)
-			nb.desc = b.desc
 		} else {
 			rep.KernelFallbackReason = fmt.Sprintf("bound %s descriptor no longer verifies on the surviving component (%v); final pass falls back to the generic kernel", kernelName(b.kernel), err)
 		}
@@ -254,5 +321,143 @@ func deriveBinding(b *binding, rr *graph.Removal) (*binding, *RebindReport, erro
 
 	nb.degraded = b.degraded || nb.delta < b.delta ||
 		rr.RemovedNodes+rr.RemovedEdges+rr.Stranded > 0
+	return nb, rep, nil
+}
+
+// deriveGrowth computes the recovered binding for a growth applied to
+// binding b — the ascending twin of deriveBinding. Pure with respect to
+// b and its anchor (shared slices are never written), so concurrent
+// readers are unaffected.
+func deriveGrowth(b *binding, gr *graph.Growth) (*binding, *RebindReport, error) {
+	if b.g == nil {
+		return nil, nil, errors.New("core: implicit (descriptor-backed) engines cannot rebind — churn deltas are defined against a materialised graph")
+	}
+	anchor := b.prev
+	if anchor == nil {
+		return nil, nil, errors.New("core: engine has no churn to recover from — growth rebinds regrow a previous removal")
+	}
+	if len(gr.SurvivorToNew) != b.g.N() {
+		return nil, nil, fmt.Errorf("core: growth maps %d survivors but the engine's graph has %d (growth must be produced by graph.Restore from the removal this engine last survived)", len(gr.SurvivorToNew), b.g.N())
+	}
+	if anchor.g == nil || len(gr.OldToNew) != anchor.g.N() {
+		return nil, nil, fmt.Errorf("core: growth is anchored at a %d-node graph but the engine's pre-churn graph has %d nodes", len(gr.OldToNew), anchor.g.N())
+	}
+	g2 := gr.G
+	if g2 == nil || g2.N() == 0 {
+		return nil, nil, errors.New("core: growth carries no component to rebind to")
+	}
+	rm := gr.Remaining
+	rep := &RebindReport{
+		OldN: b.g.N(), NewN: g2.N(),
+		Grew:       true,
+		Readmitted: gr.Readmitted, Reconnected: gr.Reconnected, StillGone: gr.StillGone,
+		BaseDelta:    b.baseDelta,
+		KernelBefore: kernelName(b.kernel),
+	}
+	nb := &binding{
+		nw:        b.nw,
+		g:         g2,
+		adj:       g2,
+		baseDelta: b.baseDelta,
+		epoch:     b.epoch + 1,
+		prev:      anchor, // further growths keep regrowing toward the same world
+	}
+	if gr.StillGone == 0 && len(rm.GoneEdges) == 0 {
+		// Full restore: the new binding is the anchor's world, ids and
+		// all, so its recovery frame is whatever the anchor's was. This
+		// is what lets stacked removals unwind — fully regrowing the
+		// latest removal re-exposes the one beneath it.
+		nb.prev = anchor.prev
+	}
+
+	// The budget formula run in reverse: re-derive it from the anchor's
+	// budget and what is still gone, so restored structure hands its
+	// decrement back. A full restore recovers the anchor budget exactly.
+	nb.connBudget = anchor.connBudget - (rm.RemovedNodes + rm.Stranded) - rm.RemovedEdges
+
+	// Partition re-growth: re-admit the anchor partition as far as the
+	// growth allows, falling back per part to the currently served
+	// membership (see topology.RegrowParts) — the served partition
+	// never loses a part across a growth. An anchor-time partition
+	// error carries over; a post-removal ErrNoSurvivingPartition does
+	// not — re-growth is exactly what can lift it.
+	var parts2 []topology.Part
+	if anchor.partsErr != nil {
+		nb.partsErr = anchor.partsErr
+	} else {
+		var kept, regrown, readmitted, dropped int
+		parts2, _, kept, regrown, readmitted, dropped = topology.RegrowParts(g2, anchor.parts, gr.OldToNew, rm.GoneEdges, b.parts, gr.SurvivorToNew, nil)
+		rep.PartsKept, rep.PartsRepaired, rep.PartsReadmitted, rep.PartsDropped = kept, regrown, readmitted, dropped
+	}
+
+	// δ′ ascent: the same bound search as the descent, ceilinged by the
+	// anchor's δ instead of the degraded one. With full structure back
+	// the budget, minimum degree and part census all recover, so δ′
+	// lands on δ.
+	dmax := anchor.delta
+	if nb.connBudget < dmax {
+		dmax = nb.connBudget
+	}
+	if md := g2.MinDegree(); md < dmax {
+		dmax = md
+	}
+	if dmax < 0 {
+		dmax = 0
+	}
+	delta2 := -1
+	if nb.partsErr == nil {
+		for d := dmax; d >= 0; d-- {
+			cnt := 0
+			for _, p := range parts2 {
+				if len(p.Nodes) >= d+1 {
+					cnt++
+				}
+			}
+			if cnt >= d+1 {
+				delta2 = d
+				break
+			}
+		}
+	}
+	if delta2 < 0 {
+		nb.delta = 0
+		if nb.partsErr == nil {
+			nb.partsErr = ErrNoSurvivingPartition
+		}
+	} else {
+		nb.delta = delta2
+		served := parts2[:0]
+		for _, p := range parts2 {
+			if len(p.Nodes) >= delta2+1 {
+				served = append(served, p)
+			}
+		}
+		nb.parts = served
+	}
+	rep.EffectiveDelta = nb.delta
+	rep.PartsErr = nb.partsErr
+
+	// Kernel recovery: re-verify the kept descriptor against the
+	// re-grown component. Once the full structure is back this
+	// succeeds and the specialised kernel re-binds — the
+	// generic→kernel promotion the fallback path was holding the
+	// descriptor for.
+	if b.desc != nil {
+		nb.desc = b.desc
+		if err := graph.VerifyCayley(g2, b.desc); err == nil {
+			nb.kernel = bindFinalKernel(b.desc, g2)
+			if b.kernel == nil && nb.kernel != nil {
+				rep.KernelPromotion = fmt.Sprintf("bound descriptor verifies again on the re-grown component; final pass promoted from the generic kernel to %s", kernelName(nb.kernel))
+			}
+		} else {
+			rep.KernelFallbackReason = fmt.Sprintf("bound descriptor still does not verify on the re-grown component (%v); final pass stays on the generic kernel", err)
+		}
+	}
+	rep.KernelAfter = kernelName(nb.kernel)
+
+	// The degraded stamp clears exactly when the pre-churn structure is
+	// fully back: nothing still gone means the re-grown graph is the
+	// anchor graph, ids and all.
+	nb.degraded = anchor.degraded || gr.StillGone > 0 || len(rm.GoneEdges) > 0
 	return nb, rep, nil
 }

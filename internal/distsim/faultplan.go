@@ -3,6 +3,7 @@ package distsim
 import (
 	"math"
 	"math/rand"
+	"slices"
 )
 
 // FaultPlan describes deterministic network-fault injection for one
@@ -41,10 +42,30 @@ type SlowLink struct {
 	Extra int
 }
 
-// Crash silences Node from round Round onward.
+// Crash silences Node from round Round onward (or until a scheduled
+// Rejoin, see RecoveryPlan).
 type Crash struct {
 	Node  int32
 	Round int
+}
+
+// Rejoin returns Node to service from round Round onward: the node's
+// crash window becomes [Crash.Round, Rejoin.Round). A rejoin at or
+// before the crash round cancels the crash entirely; a rejoined node
+// resumes sending and receiving with whatever protocol state it held —
+// messages silenced while it was down stay lost, and it is up to the
+// protocol (retransmission, acks) to close the gap.
+type Rejoin struct {
+	Node  int32
+	Round int
+}
+
+// RecoveryPlan schedules node re-joins against a FaultPlan's crashes.
+// It is the gain-direction companion of FaultPlan.Crashes: the fault
+// plan takes structure away, the recovery plan hands it back, and both
+// replay deterministically from the same seed and traffic.
+type RecoveryPlan struct {
+	Rejoins []Rejoin
 }
 
 // FaultStats counts what a plan actually did to one run.
@@ -53,6 +74,7 @@ type FaultStats struct {
 	Duplicated   int64 // extra copies delivered
 	Delayed      int64 // messages held back (incl. slow-link latency)
 	CrashDropped int64 // messages silenced by a crashed sender/receiver
+	Rejoined     int64 // crash windows closed by a recovery plan
 }
 
 // FaultEvent is one injection, in the order the engine performed them —
@@ -71,10 +93,22 @@ type injector struct {
 	plan   *FaultPlan
 	rng    *rand.Rand
 	crash  []int // crash round per node, MaxInt when never
+	rejoin []int // rejoin round per node, MaxInt when never
 	slow   map[int64]int
 	future map[int][]Message // delayed deliveries keyed by arrival round
 	stats  FaultStats
 	events []FaultEvent
+
+	// rejoins is the effective re-join schedule (crash windows that
+	// actually close), Round-ascending, consumed by takeDue to stamp the
+	// event ledger exactly once per re-join.
+	rejoins    []Rejoin
+	nextRejoin int
+}
+
+// down reports whether node is inside its crash window at round.
+func (inj *injector) down(node int32, round int) bool {
+	return inj.crash[node] <= round && round < inj.rejoin[node]
 }
 
 // SetFaultPlan arms the engine with a fault plan. Must be called before
@@ -88,10 +122,12 @@ func (e *Engine) SetFaultPlan(p *FaultPlan) {
 		plan:   p,
 		rng:    rand.New(rand.NewSource(int64(p.Seed))),
 		crash:  make([]int, e.g.N()),
+		rejoin: make([]int, e.g.N()),
 		future: make(map[int][]Message),
 	}
 	for i := range inj.crash {
 		inj.crash[i] = math.MaxInt
+		inj.rejoin[i] = math.MaxInt
 	}
 	for _, c := range p.Crashes {
 		if int(c.Node) < len(inj.crash) && c.Round < inj.crash[c.Node] {
@@ -105,6 +141,31 @@ func (e *Engine) SetFaultPlan(p *FaultPlan) {
 		}
 	}
 	e.inj = inj
+}
+
+// SetRecoveryPlan schedules node re-joins against the armed fault
+// plan: each listed node's crash window becomes [crash, rejoin) instead
+// of [crash, ∞). Must be called after SetFaultPlan (SetFaultPlan resets
+// all rejoins); with no fault plan armed, or a nil plan, it is a no-op.
+// A rejoin at or before the node's crash round cancels the crash.
+func (e *Engine) SetRecoveryPlan(rec *RecoveryPlan) {
+	inj := e.inj
+	if inj == nil || rec == nil {
+		return
+	}
+	for _, rj := range rec.Rejoins {
+		if int(rj.Node) < len(inj.rejoin) && rj.Round < inj.rejoin[rj.Node] {
+			inj.rejoin[rj.Node] = rj.Round
+		}
+	}
+	inj.rejoins = inj.rejoins[:0]
+	for u := range inj.rejoin {
+		if inj.rejoin[u] < math.MaxInt && inj.crash[u] < inj.rejoin[u] {
+			inj.rejoins = append(inj.rejoins, Rejoin{Node: int32(u), Round: inj.rejoin[u]})
+		}
+	}
+	slices.SortStableFunc(inj.rejoins, func(a, b Rejoin) int { return a.Round - b.Round })
+	inj.nextRejoin = 0
 }
 
 // FaultStats returns the injection counters of the last Run (zero
@@ -145,7 +206,7 @@ func (e *Engine) inject(batch []Message, sendRound int) []Message {
 	p := inj.plan
 	out := make([]Message, 0, len(batch))
 	for _, m := range batch {
-		if inj.crash[m.From] <= sendRound {
+		if inj.down(m.From, sendRound) {
 			inj.stats.CrashDropped++
 			inj.events = append(inj.events, FaultEvent{Round: sendRound, Kind: "crash-send", From: m.From, To: m.To})
 			continue
@@ -189,14 +250,22 @@ func (e *Engine) inject(batch []Message, sendRound int) []Message {
 	return out
 }
 
-// takeDue merges delayed messages arriving this round into the batch.
+// takeDue merges delayed messages arriving this round into the batch
+// and stamps any re-joins that have come due into the event ledger.
 func (e *Engine) takeDue(round int, pending []Message) []Message {
-	if e.inj == nil {
+	inj := e.inj
+	if inj == nil {
 		return pending
 	}
-	if due, ok := e.inj.future[round]; ok {
+	for inj.nextRejoin < len(inj.rejoins) && inj.rejoins[inj.nextRejoin].Round <= round {
+		rj := inj.rejoins[inj.nextRejoin]
+		inj.stats.Rejoined++
+		inj.events = append(inj.events, FaultEvent{Round: rj.Round, Kind: "rejoin", From: rj.Node, To: rj.Node})
+		inj.nextRejoin++
+	}
+	if due, ok := inj.future[round]; ok {
 		pending = append(pending, due...)
-		delete(e.inj.future, round)
+		delete(inj.future, round)
 	}
 	return pending
 }
@@ -210,7 +279,7 @@ func (e *Engine) dropCrashedReceivers(round int, pending []Message) []Message {
 	}
 	out := pending[:0]
 	for _, m := range pending {
-		if inj.crash[m.To] <= round {
+		if inj.down(m.To, round) {
 			inj.stats.CrashDropped++
 			inj.events = append(inj.events, FaultEvent{Round: round, Kind: "crash-recv", From: m.From, To: m.To})
 			continue

@@ -204,6 +204,84 @@ func (cs *CollectServer) ReplayFaulty(syns []syndrome.Syndrome, plan *FaultPlan,
 	return out
 }
 
+// ReplayRecovering is ReplayFaulty on the campaign's global round axis
+// with a recovery plan: wave w spans global rounds
+// [w*maxRounds, (w+1)*maxRounds), Crash.Round and Rejoin.Round are
+// global, and each wave is armed with the plan translated into its own
+// round window — a node crashed in an earlier wave arrives already
+// down, one that rejoined earlier never crashes at all, and one whose
+// rejoin lands mid-wave comes back mid-collection. Early waves can
+// therefore serve degraded diagnoses and later waves upgrade to full
+// diagnosis as nodes re-join, on the same server, mid-campaign. With
+// every crash at round 0 and no rejoins the translation is the
+// identity, and the run is bit-identical to ReplayFaulty.
+func (cs *CollectServer) ReplayRecovering(syns []syndrome.Syndrome, plan *FaultPlan, rec *RecoveryPlan, retries int, cache *core.ResultCache) []FaultyReplayResult {
+	rejoinAt := map[int32]int{}
+	if rec != nil {
+		for _, rj := range rec.Rejoins {
+			if cur, ok := rejoinAt[rj.Node]; !ok || rj.Round < cur {
+				rejoinAt[rj.Node] = rj.Round
+			}
+		}
+	}
+	out := make([]FaultyReplayResult, len(syns))
+	var fullIdx []int
+	var fullSyns []syndrome.Syndrome
+	for i, s := range syns {
+		wavePlan := *plan
+		wavePlan.Crashes = nil
+		var waveRec RecoveryPlan
+		base := i * cs.maxRounds
+		for _, c := range plan.Crashes {
+			eff := c.Round - base
+			if eff > cs.maxRounds {
+				continue // crashes in a later wave
+			}
+			if eff < 0 {
+				eff = 0 // went down in an earlier wave; already out
+			}
+			if rj, ok := rejoinAt[c.Node]; ok {
+				rjEff := rj - base
+				if rjEff <= eff {
+					continue // rejoined before this wave saw it down
+				}
+				wavePlan.Crashes = append(wavePlan.Crashes, Crash{Node: c.Node, Round: eff})
+				if rjEff <= cs.maxRounds {
+					waveRec.Rejoins = append(waveRec.Rejoins, Rejoin{Node: c.Node, Round: rjEff})
+				}
+			} else {
+				wavePlan.Crashes = append(wavePlan.Crashes, Crash{Node: c.Node, Round: eff})
+			}
+		}
+		e := NewEngine(cs.g, 0)
+		e.SetFaultPlan(&wavePlan)
+		e.SetRecoveryPlan(&waveRec)
+		rc := NewResilientCollect(e, cs.g, s, retries)
+		st, err := e.Run(rc, cs.maxRounds)
+		if st != nil {
+			out[i].Net = *st
+		}
+		out[i].Inject = e.FaultStats()
+		out[i].Events = e.FaultEvents()
+		out[i].Missing = rc.Missing()
+		_ = err // a round-limited run degrades like a lossy one
+		if len(out[i].Missing) == 0 {
+			fullIdx = append(fullIdx, i)
+			fullSyns = append(fullSyns, s)
+			continue
+		}
+		cs.degradedWave(&out[i], s)
+	}
+	batch := cs.rt.DiagnoseBatch(fullSyns, core.BatchOptions{Options: core.Options{ResultCache: cache}})
+	for k, r := range batch {
+		i := fullIdx[k]
+		out[i].Faults = r.Faults
+		out[i].Diag = r.Stats
+		out[i].Err = r.Err
+	}
+	return out
+}
+
 // degradedWave diagnoses a partial collection on the surviving
 // component and maps the verdict back to server ids.
 func (cs *CollectServer) degradedWave(r *FaultyReplayResult, s syndrome.Syndrome) {

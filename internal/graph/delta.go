@@ -36,6 +36,12 @@ type Removal struct {
 	// in the old graph, normalised u < v — the information a partition
 	// remapper needs to tell which parts were touched by pure edge churn.
 	GoneEdges [][2]int32
+
+	// orig is the graph the removal was applied to and removed the set of
+	// explicitly removed nodes — what Restore needs to re-admit structure
+	// without the caller re-threading the pre-churn world.
+	orig    *Graph
+	removed *bitset.Set
 }
 
 // RemoveNodes removes the given nodes (duplicates tolerated) and returns
@@ -54,6 +60,15 @@ func (g *Graph) RemoveEdges(edges [][2]int32) *Removal { return g.Remove(nil, ed
 // The whole operation is O(n + m). Out-of-range ids panic; removing an
 // absent edge is a no-op.
 func (g *Graph) Remove(nodes []int32, edges [][2]int32) *Removal {
+	return g.remove(nodes, edges, -1)
+}
+
+// remove is Remove with an optional anchor: when anchor is a surviving
+// node id, the component containing it is kept instead of the largest
+// one. Restore uses this to guarantee the re-grown graph contains the
+// component currently being served, so growth never strands the nodes a
+// rebinding engine's clients are talking to.
+func (g *Graph) remove(nodes []int32, edges [][2]int32, anchor int32) *Removal {
 	removed := bitset.New(g.n)
 	removedNodes := 0
 	for _, u := range nodes {
@@ -113,6 +128,7 @@ func (g *Graph) Remove(nodes []int32, edges [][2]int32) *Removal {
 	queue := make([]int32, 0, g.n)
 	bestComp, bestSize := int32(-1), 0
 	nextComp := int32(0)
+	var sizes []int
 	for s := int32(0); int(s) < g.n; s++ {
 		if comp[s] >= 0 || removed.Contains(int(s)) {
 			continue
@@ -134,9 +150,14 @@ func (g *Graph) Remove(nodes []int32, edges [][2]int32) *Removal {
 				queue = append(queue, v)
 			}
 		}
+		sizes = append(sizes, size)
 		if size > bestSize {
 			bestComp, bestSize = id, size
 		}
+	}
+	if anchor >= 0 && comp[anchor] >= 0 {
+		bestComp = comp[anchor]
+		bestSize = sizes[bestComp]
 	}
 
 	oldToNew := make([]int32, g.n)
@@ -181,5 +202,7 @@ func (g *Graph) Remove(nodes []int32, edges [][2]int32) *Removal {
 		RemovedEdges: removedEdges,
 		Stranded:     g.n - removedNodes - bestSize,
 		GoneEdges:    goneEdges,
+		orig:         g,
+		removed:      removed,
 	}
 }

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hypercube builds Q_dim via the builder (the graph-layer twin of
+// topology.NewHypercube, which this package cannot import).
+func hypercube(dim int) *Graph {
+	n := 1 << dim
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < dim; bit++ {
+			if v := u ^ (1 << bit); v > u {
+				b.MustAddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// sameCSR reports whether two graphs are byte-identical in CSR form.
+func sameCSR(a, b *Graph) bool {
+	ao, at := a.Adjacency()
+	bo, bt := b.Adjacency()
+	if a.N() != b.N() || a.M() != b.M() || len(ao) != len(bo) || len(at) != len(bt) {
+		return false
+	}
+	for i := range ao {
+		if ao[i] != bo[i] {
+			return false
+		}
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFlapRoundTripBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	graphs := []*Graph{hypercube(4), cycleGraph(9), randomConnectedGraph(40, 60, rng)}
+	for gi, g := range graphs {
+		nodes := []int32{int32(rng.Intn(g.N())), int32(rng.Intn(g.N()))}
+		u := nodes[0]
+		var edges [][2]int32
+		if len(g.Neighbors(u)) > 0 {
+			edges = [][2]int32{{u, g.Neighbors(u)[0]}}
+		}
+		rr, gr := g.Flap(nodes, edges)
+		if !sameCSR(g, gr.G) {
+			t.Fatalf("graph %d: flap round trip not CSR-identical", gi)
+		}
+		for i, nu := range gr.OldToNew {
+			if nu != int32(i) {
+				t.Fatalf("graph %d: OldToNew[%d] = %d after full restore, want identity", gi, i, nu)
+			}
+		}
+		if gr.StillGone != 0 || gr.Remaining.RemovedNodes != 0 || len(gr.Remaining.GoneEdges) != 0 {
+			t.Fatalf("graph %d: full restore left residue: %d gone nodes, removal %+v", gi, gr.StillGone, gr.Remaining)
+		}
+		wantBack := rr.RemovedNodes + rr.Stranded
+		if gr.Readmitted+gr.Reconnected != wantBack {
+			t.Fatalf("graph %d: readmitted %d + reconnected %d, want %d", gi, gr.Readmitted, gr.Reconnected, wantBack)
+		}
+		if gr.Readmitted != rr.RemovedNodes {
+			t.Fatalf("graph %d: Readmitted = %d, want %d", gi, gr.Readmitted, rr.RemovedNodes)
+		}
+		if len(edges) > 0 && rr.GoneEdges != nil && gr.RestoredEdges != len(rr.GoneEdges) {
+			t.Fatalf("graph %d: RestoredEdges = %d, want %d", gi, gr.RestoredEdges, len(rr.GoneEdges))
+		}
+	}
+}
+
+func TestRestorePartialCensusAndMaps(t *testing.T) {
+	// Path 0..9 minus {3, 7}: survivor is {4,5,6} stranded... no — the
+	// largest piece is {4,5,6} vs {0,1,2} vs {8,9}: {4,5,6} wins? Sizes
+	// are 3, 3, 2; tie to smallest id keeps {0,1,2}. Restoring 3 alone
+	// reconnects {4,5,6} through it; 7 and beyond stay gone.
+	g := pathGraph(10)
+	rr := g.RemoveNodes([]int32{3, 7})
+	if rr.G.N() != 3 || rr.NewToOld[0] != 0 {
+		t.Fatalf("unexpected survivor %v", rr.NewToOld)
+	}
+	gr := Restore(rr, []int32{3}, nil)
+	if gr.G.N() != 7 {
+		t.Fatalf("restored component has %d nodes, want 7 (0..6)", gr.G.N())
+	}
+	if gr.Readmitted != 1 {
+		t.Fatalf("Readmitted = %d, want 1 (node 3)", gr.Readmitted)
+	}
+	if gr.Reconnected != 3 {
+		t.Fatalf("Reconnected = %d, want 3 (nodes 4,5,6)", gr.Reconnected)
+	}
+	if gr.StillGone != 3 {
+		t.Fatalf("StillGone = %d, want 3 (nodes 7,8,9)", gr.StillGone)
+	}
+	// SurvivorToNew is total and edge-preserving.
+	for i := range gr.SurvivorToNew {
+		if gr.SurvivorToNew[i] < 0 {
+			t.Fatalf("SurvivorToNew[%d] < 0; growth must keep every served node", i)
+		}
+	}
+	for u := int32(0); int(u) < rr.G.N(); u++ {
+		for _, v := range rr.G.Neighbors(u) {
+			if !gr.G.HasEdge(gr.SurvivorToNew[u], gr.SurvivorToNew[v]) {
+				t.Fatalf("survivor edge %d-%d lost by growth", u, v)
+			}
+		}
+	}
+	if err := gr.G.Validate(); err != nil {
+		t.Fatalf("re-grown graph invalid: %v", err)
+	}
+	// The residual removal chains: restoring the rest completes the
+	// round trip.
+	gr2 := Restore(gr.Remaining, []int32{7}, nil)
+	if !sameCSR(g, gr2.G) {
+		t.Fatalf("chained restore did not return to the original graph")
+	}
+}
+
+func TestRestoreAnchorsServedComponent(t *testing.T) {
+	// Two triangles joined by a bridge at 2-3, plus a pendant chain on
+	// the right: removing the bridge keeps the left triangle {0,1,2}
+	// (tie-break loses: right side {3,4,5,6,7} is larger — so build the
+	// left bigger). Left: 0-1-2-0 plus chain 0-8, 8-9, 9-10; right:
+	// 3-4-5-3. Removing edge {2,3} strands the right triangle. Restoring
+	// nothing new but an unrelated edge keeps the anchored (served)
+	// component even though re-admission elsewhere could tie it.
+	b := NewBuilder(11)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(0, 2)
+	b.MustAddEdge(0, 8)
+	b.MustAddEdge(8, 9)
+	b.MustAddEdge(9, 10)
+	b.MustAddEdge(2, 3)
+	b.MustAddEdge(3, 4)
+	b.MustAddEdge(4, 5)
+	b.MustAddEdge(3, 5)
+	b.MustAddEdge(5, 6)
+	b.MustAddEdge(6, 7)
+	g := b.Build()
+	rr := g.RemoveEdges([][2]int32{{2, 3}})
+	if rr.G.N() != 6 {
+		t.Fatalf("survivor has %d nodes, want 6 (left side)", rr.G.N())
+	}
+	// Restore the bridge: everything reconnects around the served side.
+	gr := Restore(rr, nil, [][2]int32{{2, 3}})
+	if !sameCSR(g, gr.G) {
+		t.Fatalf("bridge restore did not reunify the graph")
+	}
+	if gr.Reconnected != 5 || gr.Readmitted != 0 {
+		t.Fatalf("census = %d readmitted/%d reconnected, want 0/5", gr.Readmitted, gr.Reconnected)
+	}
+	if gr.RestoredEdges != 1 {
+		t.Fatalf("RestoredEdges = %d, want 1", gr.RestoredEdges)
+	}
+}
+
+func TestRestoreNoOpRequestsTolerated(t *testing.T) {
+	g := cycleGraph(8)
+	rr := g.RemoveNodes([]int32{1})
+	// Restoring a survivor, an already-present edge, and the removed
+	// node twice must behave exactly like restoring the node once.
+	gr := Restore(rr, []int32{1, 1, 4}, [][2]int32{{5, 6}})
+	if !sameCSR(g, gr.G) {
+		t.Fatalf("no-op-padded restore did not round trip")
+	}
+	if gr.Readmitted != 1 || gr.Reconnected != 0 || gr.RestoredEdges != 0 {
+		t.Fatalf("census %d/%d/%d, want 1/0/0", gr.Readmitted, gr.Reconnected, gr.RestoredEdges)
+	}
+}
+
+func TestRestoreOutOfRangePanics(t *testing.T) {
+	g := pathGraph(4)
+	rr := g.RemoveNodes([]int32{1})
+	for _, fn := range []func(){
+		func() { Restore(rr, []int32{99}, nil) },
+		func() { Restore(rr, nil, [][2]int32{{0, 99}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("out-of-range Restore did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRestoreRandomRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 50; trial++ {
+		g := randomConnectedGraph(12+rng.Intn(30), 20+rng.Intn(40), rng)
+		k := 1 + rng.Intn(4)
+		nodes := make([]int32, k)
+		for i := range nodes {
+			nodes[i] = int32(rng.Intn(g.N()))
+		}
+		rr := g.RemoveNodes(nodes)
+		if rr.G.N() == 0 {
+			continue
+		}
+		// Restore a random subset first, then everything.
+		var half []int32
+		for _, u := range nodes {
+			if rng.Intn(2) == 0 {
+				half = append(half, u)
+			}
+		}
+		gr := Restore(rr, half, nil)
+		if err := gr.G.Validate(); err != nil {
+			t.Fatalf("trial %d: partial restore invalid: %v", trial, err)
+		}
+		if gr.G.N() < rr.G.N() {
+			t.Fatalf("trial %d: growth shrank the component: %d -> %d", trial, rr.G.N(), gr.G.N())
+		}
+		for i := range gr.SurvivorToNew {
+			if gr.SurvivorToNew[i] < 0 {
+				t.Fatalf("trial %d: SurvivorToNew[%d] < 0", trial, i)
+			}
+		}
+		full := Restore(gr.Remaining, nodes, nil)
+		if !sameCSR(g, full.G) {
+			t.Fatalf("trial %d: full restore after partial not byte-identical", trial)
+		}
+	}
+}

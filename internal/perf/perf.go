@@ -692,6 +692,30 @@ func churnDiagnoseCase(n, k int) Result {
 	})
 }
 
+// churnFlapCase measures one full flap cycle end to end on a live
+// engine: removal compaction + degraded Rebind + restore compaction +
+// recovery Rebind (δ′ re-ascent, partition regrowth, kernel
+// re-promotion). A full restore returns the engine to a
+// pristine-equivalent binding, so the cycle composes across iterations
+// without drifting. The gate: one cycle must stay well under the cost
+// of the two from-scratch binds it replaces.
+func churnFlapCase(n, k int) Result {
+	eng := core.NewEngine(topology.NewHypercube(n))
+	nodes := churnNodes(eng.Graph().N(), k)
+	return run(fmt.Sprintf("churnflap/Q%d", n), nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rr := eng.Graph().Remove(nodes, nil)
+			if _, err := eng.Rebind(rr); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Rebind(graph.Restore(rr, nodes, nil)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // graphBuildCase measures CSR construction of Q_n via the Builder.
 func graphBuildCase(n int) Result {
 	return run(fmt.Sprintf("graphbuild/Q%d", n), nil, func(b *testing.B) {
@@ -816,6 +840,12 @@ func Suite() *Report {
 		shardedSweepCase(14, 1),
 		shardedSweepCase(14, 4),
 	)
+	// PR 9: recovery tolerance — one full remove-restore flap cycle on a
+	// live Q14 engine (both rebinds), gated well under the two
+	// from-scratch binds it replaces (compare against 2× fullbind/Q14).
+	rep.Results = append(rep.Results,
+		churnFlapCase(14, 16),
+	)
 	return rep
 }
 
@@ -834,6 +864,7 @@ func QuickSuite() *Report {
 		campaignSweepCase(topology.NewHypercube(8), true),
 		graphBuildCase(10),
 		churnRebindCase(10, 4),
+		churnFlapCase(10, 4),
 		implicitEngineDiagnoseCase(10),
 	)
 	return rep

@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"comparisondiag/internal/bitset"
+	"comparisondiag/internal/graph"
+)
+
+// RegrowParts maps a pre-churn (anchor) Theorem 1 partition onto a
+// re-grown component g2 — the ascending twin of SurviveParts. Each
+// anchor part is re-admitted as far as the growth allows: parts whose
+// members are all present again and untouched by still-gone edges are
+// remapped wholesale (their induced subgraph is identical to the anchor
+// graph's, so no re-check is needed), partially present parts are
+// trimmed to their present nodes and re-validated exactly like
+// SurviveParts repairs (connected in g2, induced minimum degree ≥ 2, at
+// least two nodes). The caller applies its own minimum-size filter
+// afterwards, as with SurviveParts.
+//
+// prev is the partition currently served (the one SurviveParts produced
+// for the pre-growth survivor) with prevToNew the growth's total
+// survivor id map; it anchors the census and the monotonicity fallback:
+// a re-grown part that fails re-validation — a restored node can return
+// with too few of its part-neighbours — falls back to its currently
+// served membership, which stays valid because every survivor node and
+// edge persists into g2. The served partition therefore never loses a
+// part across a growth. prev may be nil (no current partition to fall
+// back on), in which case invalid parts are dropped.
+//
+// The census: kept counts parts serving exactly their current
+// membership (including the fallback), regrown counts current parts
+// that gained nodes back, readmitted counts parts with no current
+// counterpart that re-validated from scratch, dropped counts parts
+// still unservable. anchorToNew is the growth's pre-churn id map (-1 =
+// still gone); stillGone lists the still-removed edges in pre-churn
+// ids. flat optionally supplies the backing array as in SurviveParts.
+// Part order follows the anchor partition — after a full restore the
+// output is element-wise identical to it.
+func RegrowParts(g2 *graph.Graph, anchor []Part, anchorToNew []int32, stillGone [][2]int32, prev []Part, prevToNew []int32, flat []int32) (out []Part, outFlat []int32, kept, regrown, readmitted, dropped int) {
+	// Mark which anchor parts the residual churn still touches: a member
+	// still gone, or a still-gone edge with both endpoints inside.
+	touched := make([]bool, len(anchor))
+	if len(stillGone) > 0 {
+		partOf := make([]int32, len(anchorToNew))
+		for i := range partOf {
+			partOf[i] = -1
+		}
+		for pi, p := range anchor {
+			for _, u := range p.Nodes {
+				partOf[u] = int32(pi)
+			}
+		}
+		for _, e := range stillGone {
+			if pu := partOf[e[0]]; pu >= 0 && pu == partOf[e[1]] {
+				touched[pu] = true
+			}
+		}
+	}
+	for pi, p := range anchor {
+		if touched[pi] {
+			continue
+		}
+		for _, u := range p.Nodes {
+			if anchorToNew[u] < 0 {
+				touched[pi] = true
+				break
+			}
+		}
+	}
+
+	// Locate each anchor part's current counterpart. Parts are disjoint
+	// and a current part's members all persist into g2, so one owner id
+	// per g2 node resolves the match.
+	var prevOwner []int32
+	if len(prev) > 0 {
+		prevOwner = make([]int32, g2.N())
+		for i := range prevOwner {
+			prevOwner[i] = -1
+		}
+		for j, p := range prev {
+			for _, u := range p.Nodes {
+				prevOwner[prevToNew[u]] = int32(j)
+			}
+		}
+	}
+
+	// One backing array; current memberships are subsets of their anchor
+	// parts, so the anchor total bounds the fallback appends too.
+	total := 0
+	for _, p := range anchor {
+		total += len(p.Nodes)
+	}
+	if cap(flat) < total {
+		flat = make([]int32, 0, total)
+	}
+	flat = flat[:0]
+	var mask *bitset.Set
+	for pi, p := range anchor {
+		lo := len(flat)
+		for _, u := range p.Nodes {
+			if nu := anchorToNew[u]; nu >= 0 {
+				flat = append(flat, nu)
+			}
+		}
+		nodes := flat[lo:len(flat):len(flat)]
+		prevIdx := int32(-1)
+		if prevOwner != nil {
+			for _, u := range nodes {
+				if j := prevOwner[u]; j >= 0 {
+					prevIdx = j
+					break
+				}
+			}
+		}
+		valid := !touched[pi]
+		if !valid && len(nodes) >= 2 {
+			if mask == nil {
+				mask = bitset.New(g2.N())
+			}
+			valid = validPartOn(g2, nodes, mask)
+		}
+		if valid {
+			seed := anchorToNew[p.Seed]
+			if seed < 0 {
+				seed = nodes[0]
+			}
+			out = append(out, Part{Nodes: nodes, Seed: seed})
+			switch {
+			case prevIdx < 0:
+				readmitted++
+			case len(nodes) == len(prev[prevIdx].Nodes):
+				kept++
+			default:
+				regrown++
+			}
+			continue
+		}
+		flat = flat[:lo]
+		if prevIdx < 0 {
+			dropped++
+			continue
+		}
+		// Monotonicity fallback: keep serving the current membership.
+		pp := prev[prevIdx]
+		for _, u := range pp.Nodes {
+			flat = append(flat, prevToNew[u])
+		}
+		out = append(out, Part{Nodes: flat[lo:len(flat):len(flat)], Seed: prevToNew[pp.Seed]})
+		kept++
+	}
+	return out, flat, kept, regrown, readmitted, dropped
+}

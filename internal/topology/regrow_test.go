@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"testing"
+
+	"comparisondiag/internal/graph"
+)
+
+// TestRegrowPartsFullRestore flaps one node of Q6 and checks that the
+// re-grown partition is element-wise identical to the anchor partition.
+func TestRegrowPartsFullRestore(t *testing.T) {
+	nw := NewHypercube(6)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	anchor, err := nw.Parts(delta+1, delta+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := g.RemoveNodes([]int32{0})
+	prev, _, _, _, _ := SurviveParts(rr.G, anchor, rr.OldToNew, rr.GoneEdges, nil)
+	gr := graph.Restore(rr, []int32{0}, nil)
+	out, _, kept, regrown, readmitted, dropped := RegrowParts(gr.G, anchor, gr.OldToNew, gr.Remaining.GoneEdges, prev, gr.SurvivorToNew, nil)
+	if dropped != 0 {
+		t.Fatalf("full restore dropped %d parts", dropped)
+	}
+	if kept+regrown+readmitted != len(anchor) {
+		t.Fatalf("census %d/%d/%d does not cover the %d anchor parts", kept, regrown, readmitted, len(anchor))
+	}
+	if len(out) != len(anchor) {
+		t.Fatalf("got %d parts, want %d", len(out), len(anchor))
+	}
+	for pi := range out {
+		if out[pi].Seed != anchor[pi].Seed || len(out[pi].Nodes) != len(anchor[pi].Nodes) {
+			t.Fatalf("part %d differs after full restore: %+v vs %+v", pi, out[pi], anchor[pi])
+		}
+		for i, u := range out[pi].Nodes {
+			if u != anchor[pi].Nodes[i] {
+				t.Fatalf("part %d node %d = %d, want %d", pi, i, u, anchor[pi].Nodes[i])
+			}
+		}
+	}
+}
+
+// TestRegrowPartsPartialRestore removes two nodes from different Q6
+// parts and restores one: that part regrows to full membership, the
+// other keeps serving its trimmed membership, and untouched parts stay
+// kept.
+func TestRegrowPartsPartialRestore(t *testing.T) {
+	nw := NewHypercube(6)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	anchor, err := nw.Parts(delta+1, delta+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One node from anchor[0], one from anchor[1].
+	a, b := anchor[0].Nodes[1], anchor[1].Nodes[1]
+	rr := g.Remove([]int32{a, b}, nil)
+	prev, _, _, _, _ := SurviveParts(rr.G, anchor, rr.OldToNew, rr.GoneEdges, nil)
+	gr := graph.Restore(rr, []int32{a}, nil)
+	out, _, kept, regrown, readmitted, dropped := RegrowParts(gr.G, anchor, gr.OldToNew, gr.Remaining.GoneEdges, prev, gr.SurvivorToNew, nil)
+	if readmitted+dropped != len(anchor)-len(prev) {
+		t.Fatalf("readmitted=%d dropped=%d, want them to cover the %d missing parts", readmitted, dropped, len(anchor)-len(prev))
+	}
+	if regrown < 1 {
+		t.Fatalf("regrown = %d, want at least the part containing %d", regrown, a)
+	}
+	if len(out) < len(prev) {
+		t.Fatalf("growth lost parts: %d served before, %d after", len(prev), len(out))
+	}
+	if kept+regrown+readmitted != len(out) {
+		t.Fatalf("census %d/%d/%d does not add up to %d parts", kept, regrown, readmitted, len(out))
+	}
+	if err := ValidatePartition(gr.G, out, 2, len(out)); err != nil {
+		t.Fatalf("re-grown parts invalid: %v", err)
+	}
+	for pi, p := range out {
+		for i := 1; i < len(p.Nodes); i++ {
+			if p.Nodes[i-1] >= p.Nodes[i] {
+				t.Fatalf("part %d not ascending: %v", pi, p.Nodes)
+			}
+		}
+	}
+}
+
+// TestRegrowPartsFallbackKeepsServedPart builds a case where the grown
+// membership of a part is invalid (the restored node returns with no
+// surviving in-part neighbours) while the currently served trim stays
+// valid: RegrowParts must fall back to the served membership instead of
+// dropping the part.
+func TestRegrowPartsFallbackKeepsServedPart(t *testing.T) {
+	// Part P0 = {0,1,2,3,8}: the cycle 0-1-2-3-0 with chord 1-3 and
+	// node 8 hung on 2 and 0. Part P1 = {5,6,7}: a triangle. Spine
+	// edges 0-5, 4-5 and the cross edge 2-6 keep everything connected
+	// (2-6 is what lets a restored node 2 rejoin the component even
+	// when all its in-part edges are still gone).
+	b := graph.NewBuilder(9)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	b.MustAddEdge(3, 0)
+	b.MustAddEdge(1, 3)
+	b.MustAddEdge(2, 8)
+	b.MustAddEdge(8, 0)
+	b.MustAddEdge(2, 6)
+	b.MustAddEdge(5, 6)
+	b.MustAddEdge(6, 7)
+	b.MustAddEdge(5, 7)
+	b.MustAddEdge(0, 5)
+	b.MustAddEdge(4, 5)
+	g := b.Build()
+	anchor := []Part{
+		{Nodes: []int32{0, 1, 2, 3, 8}, Seed: 0},
+		{Nodes: []int32{5, 6, 7}, Seed: 5},
+	}
+	if err := ValidatePartition(g, anchor, 2, 2); err != nil {
+		t.Fatalf("anchor partition invalid: %v", err)
+	}
+	// Remove nodes 2 and 8 plus edges 1-2 and 2-3: P0 trims to the
+	// valid triangle {0,1,3}.
+	rr := g.Remove([]int32{2, 8}, [][2]int32{{1, 2}, {2, 3}})
+	prev, _, _, _, _ := SurviveParts(rr.G, anchor, rr.OldToNew, rr.GoneEdges, nil)
+	if len(prev) != 2 {
+		t.Fatalf("expected both parts to survive the removal, got %d", len(prev))
+	}
+	// Restore only node 2: it rejoins the component through 2-6, but its
+	// in-part edges (1-2, 2-3 still removed; 2-8 endpoint still gone)
+	// are all absent, so the grown membership {0,1,2,3} is invalid.
+	gr := graph.Restore(rr, []int32{2}, nil)
+	out, _, kept, _, _, dropped := RegrowParts(gr.G, anchor, gr.OldToNew, gr.Remaining.GoneEdges, prev, gr.SurvivorToNew, nil)
+	if dropped != 0 {
+		t.Fatalf("fallback should keep the served part, dropped = %d", dropped)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d parts, want 2", len(out))
+	}
+	if kept != 2 {
+		t.Fatalf("kept = %d, want 2 (part 0 via fallback, part 1 wholesale)", kept)
+	}
+	if err := ValidatePartition(gr.G, out, 2, 2); err != nil {
+		t.Fatalf("served parts invalid after fallback: %v", err)
+	}
+	// The fallback membership is the served trim: node 2 must not be in
+	// part 0 (its grown membership was invalid).
+	for _, u := range out[0].Nodes {
+		if gr.NewToOld[u] == 2 {
+			t.Fatalf("invalid grown membership served: node 2 present in %v", out[0].Nodes)
+		}
+	}
+}
+
+// TestRegrowPartsNoPrev drops invalid parts when no served partition is
+// supplied.
+func TestRegrowPartsNoPrev(t *testing.T) {
+	nw := NewHypercube(6)
+	g := nw.Graph()
+	anchor, err := nw.Parts(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := g.RemoveNodes([]int32{anchor[0].Nodes[0], anchor[0].Nodes[1]})
+	gr := graph.Restore(rr, nil, nil) // nothing restored: residual = removal
+	out, _, _, _, _, _ := RegrowParts(gr.G, anchor, gr.OldToNew, gr.Remaining.GoneEdges, nil, nil, nil)
+	if err := ValidatePartition(gr.G, out, 2, len(out)); err != nil {
+		t.Fatalf("parts invalid: %v", err)
+	}
+}

@@ -92,33 +92,7 @@ func SurviveParts(g2 *graph.Graph, parts []Part, oldToNew []int32, goneEdges [][
 		if mask == nil {
 			mask = bitset.New(g2.N())
 		}
-		ok := true
-		for _, u := range nodes {
-			mask.Add(int(u))
-		}
-		if !g2.ConnectedWithin(mask) {
-			ok = false
-		}
-		if ok {
-		degrees:
-			for _, u := range nodes {
-				deg := 0
-				for _, v := range g2.Neighbors(u) {
-					if mask.Contains(int(v)) {
-						deg++
-						if deg >= 2 {
-							continue degrees
-						}
-					}
-				}
-				ok = false
-				break
-			}
-		}
-		for _, u := range nodes {
-			mask.Remove(int(u))
-		}
-		if !ok {
+		if !validPartOn(g2, nodes, mask) {
 			flat = flat[:lo]
 			dropped++
 			continue
@@ -131,4 +105,38 @@ func SurviveParts(g2 *graph.Graph, parts []Part, oldToNew []int32, goneEdges [][
 		repaired++
 	}
 	return out, flat, kept, repaired, dropped
+}
+
+// validPartOn is the Theorem 1 per-part re-validation shared by
+// SurviveParts and RegrowParts: the candidate node set (in g2 ids) must
+// be connected in g2 with induced minimum degree ≥ 2. mask is caller-
+// supplied scratch over g2's nodes, handed back clear.
+func validPartOn(g2 *graph.Graph, nodes []int32, mask *bitset.Set) bool {
+	ok := true
+	for _, u := range nodes {
+		mask.Add(int(u))
+	}
+	if !g2.ConnectedWithin(mask) {
+		ok = false
+	}
+	if ok {
+	degrees:
+		for _, u := range nodes {
+			deg := 0
+			for _, v := range g2.Neighbors(u) {
+				if mask.Contains(int(v)) {
+					deg++
+					if deg >= 2 {
+						continue degrees
+					}
+				}
+			}
+			ok = false
+			break
+		}
+	}
+	for _, u := range nodes {
+		mask.Remove(int(u))
+	}
+	return ok
 }

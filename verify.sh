@@ -5,7 +5,7 @@
 # concurrency (parallel part certification with sharded look-up
 # counters, campaign/distsim pools, Diagnose-during-Rebind churn,
 # graph probes), and the perf-trajectory gate: every committed
-# BENCH_<n>.json — BENCH_8 being the latest — must not regress
+# BENCH_<n>.json — BENCH_9 being the latest — must not regress
 # lookups/op on any case shared with its predecessor, nor start
 # allocating on a case its predecessor ran at 0 allocs/op (both are
 # deterministic; ns/op and bytes/op are reported but not gated).
