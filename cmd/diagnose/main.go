@@ -12,7 +12,13 @@
 //	diagnose -net q:14 -faults 8 -final-workers 4   # parallel final pass
 //	diagnose -net q:14 -trials 64 -shards 2 -workers 2  # sharded runtime
 //	diagnose -net q:10 -flap 3                  # 3 remove-restore cycles
-//	diagnose -net q:10 -churn 2 -churn-nodes 5,17   # explicit churn set
+//	diagnose -net q:10 -churn-nodes 5,17        # remove exactly those nodes
+//	diagnose -net q:10 -flap 3 -churn-nodes 5,17    # cycle an explicit set
+//
+// The churn-mode flags are mutually exclusive where they contradict:
+// -churn picks random victims while -churn-nodes names them, and
+// -churn's one-shot removal contradicts -flap's remove-restore cycles,
+// so either combination is a usage error.
 //
 // Patterns: random (default), cluster (BFS ball around node 0),
 // neighborhood (the extremal N(center) configuration).
@@ -60,9 +66,9 @@ func main() {
 	shareCert := flag.Bool("share-cert", false, "with -trials > 1: share part certification across syndromes of one fault hypothesis")
 	shareFinal := flag.Bool("share-final", false, "with -trials > 1: share the behaviour-independent final-pass prefix across syndromes of one fault hypothesis")
 	cacheAdmission := flag.Bool("cache-admission", false, "with -cache: admit a result only on its second sighting (scan-resistant admission)")
-	churn := flag.Int("churn", 0, "remove this many random nodes and rebind the engine before diagnosing (degraded mode; routes through the engine even for one trial)")
-	churnNodes := flag.String("churn-nodes", "", "comma-separated node ids to remove instead of random picks (needs -churn or -flap)")
-	flap := flag.Int("flap", 0, "run this many remove-restore cycles before serving: each cycle removes nodes (the -churn-nodes list, or -churn random picks, default 4), rebinds, restores them and rebinds again, reporting both rebinds")
+	churn := flag.Int("churn", 0, "remove this many random nodes and rebind the engine before diagnosing (degraded mode; routes through the engine even for one trial; contradicts -churn-nodes and -flap)")
+	churnNodes := flag.String("churn-nodes", "", "comma-separated node ids to remove (one-shot explicit churn), or the set each -flap cycle removes; contradicts -churn")
+	flap := flag.Int("flap", 0, "run this many remove-restore cycles before serving: each cycle removes nodes (the -churn-nodes list, default 4 random picks), rebinds, restores them and rebinds again, reporting both rebinds; contradicts -churn")
 	finalWorkers := flag.Int("final-workers", 0, "parallel final Set_Builder pass workers on large graphs (0 or 1 = sequential; -1 = GOMAXPROCS); the effective fan-out is reported")
 	shards := flag.Int("shards", 1, "with -trials > 1: engine shards of the runtime, each with its own scratch pool and -workers workers")
 	flag.Parse()
@@ -86,15 +92,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: -flap must be >= 0, got %d\n", *flap)
 		os.Exit(2)
 	}
+	// The churn-mode flags must name exactly one removal mode; a count
+	// AND an explicit list (or a one-shot removal and a cycle count) in
+	// one invocation is contradictory, and silently honouring one of
+	// them diagnoses a network the user didn't ask for.
+	if err := churnModeError(*churn, *flap, *churnNodes); err != nil {
+		fmt.Fprintf(os.Stderr, "usage: %v\n", err)
+		os.Exit(2)
+	}
 	// Parse -churn-nodes before touching any graph: a malformed or
 	// out-of-range id is a usage error here, not a panic deep inside
 	// graph.Remove.
 	var churnList []int32
 	if *churnNodes != "" {
-		if *churn == 0 && *flap == 0 {
-			fmt.Fprintln(os.Stderr, "usage: -churn-nodes needs -churn or -flap")
-			os.Exit(2)
-		}
 		for _, fld := range strings.Split(*churnNodes, ",") {
 			fld = strings.TrimSpace(fld)
 			id, err := strconv.Atoi(fld)
@@ -117,8 +127,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: -shards > 1 needs -trials > 1 (a sharded runtime serves batches)\n")
 		os.Exit(2)
 	}
-	if *shards > 1 && *churn > 0 {
-		fmt.Fprintf(os.Stderr, "usage: -shards > 1 cannot be combined with -churn (churn rebinds one engine)\n")
+	if *shards > 1 && (*churn > 0 || len(churnList) > 0) {
+		fmt.Fprintf(os.Stderr, "usage: -shards > 1 cannot be combined with churn (churn rebinds one engine)\n")
 		os.Exit(2)
 	}
 	if *shards > 1 && *flap > 0 {
@@ -170,27 +180,16 @@ func main() {
 		}
 	}
 
-	var behavior syndrome.Behavior
-	switch strings.ToLower(*behaviorName) {
-	case "allzero":
-		behavior = syndrome.AllZero{}
-	case "allone":
-		behavior = syndrome.AllOne{}
-	case "mimic":
-		behavior = syndrome.Mimic{}
-	case "inverted":
-		behavior = syndrome.Inverted{}
-	case "random":
-		behavior = syndrome.Random{Seed: uint64(*seed)}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown behaviour %q\n", *behaviorName)
+	behavior, err := syndrome.ParseBehavior(*behaviorName, uint64(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "usage: %v\n", err)
 		os.Exit(2)
 	}
 
 	fmt.Printf("network     %s: N=%d, M=%d, Δ=%d, κ=%d, δ=%d\n",
 		nw.Name(), g.N(), g.M(), g.MaxDegree(), nw.Connectivity(), delta)
 
-	if *trials > 1 || *churn > 0 || *flap > 0 {
+	if *trials > 1 || *churn > 0 || *flap > 0 || len(churnList) > 0 {
 		opt := core.Options{FaultBound: *bound, FinalWorkers: *finalWorkers}
 		if *paper {
 			opt.Strategy = core.StrategyPaper
@@ -246,6 +245,24 @@ func main() {
 	}
 }
 
+// churnModeError rejects contradictory churn-mode flag combinations.
+// Exactly one removal mode may drive a run: -churn k (one-shot, k
+// random victims), -churn-nodes list (one-shot, exactly those nodes),
+// -flap n (n remove-restore cycles of 4 random picks), or -flap n with
+// -churn-nodes (cycles of the explicit set). -churn with -churn-nodes
+// gives two different victim sets, and -churn with -flap two different
+// removal shapes — honouring either silently would diagnose a network
+// the user didn't ask for.
+func churnModeError(churn, flap int, churnNodes string) error {
+	if churn > 0 && churnNodes != "" {
+		return errors.New("-churn picks random victims but -churn-nodes names them; drop -churn to remove exactly the listed nodes")
+	}
+	if churn > 0 && flap > 0 {
+		return errors.New("-churn (one-shot removal) contradicts -flap (remove-restore cycles); use -flap with -churn-nodes to control the cycled set")
+	}
+	return nil
+}
+
 // runBatch binds an Engine (or, with shards > 1, one engine per shard)
 // and a persistent campaign.Runtime to the network, optionally churns
 // the engine (remove nodes + incremental rebind) or flaps it
@@ -293,10 +310,10 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(*
 		return gone
 	}
 	if flap > 0 {
-		size := churn
-		if churnList != nil {
-			size = len(churnList)
-		} else if size == 0 {
+		// -churn and -flap are mutually exclusive (churnModeError), so a
+		// cycle removes the explicit -churn-nodes list or 4 random picks.
+		size := len(churnList)
+		if size == 0 {
 			size = 4
 		}
 		if size >= eng.Graph().N() {
@@ -324,13 +341,17 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(*
 		} else {
 			fmt.Printf("flap        %d cycles complete: engine recovered — δ=%d, kernel=%s\n", flap, eng.Diagnosability(), eng.KernelName())
 		}
-	} else if churn > 0 {
+	} else if churn > 0 || churnList != nil {
 		g := eng.Graph()
-		if churn >= g.N() {
-			fmt.Fprintf(os.Stderr, "usage: -churn %d would remove the whole %d-node network\n", churn, g.N())
+		removeCount := churn
+		if churnList != nil {
+			removeCount = len(churnList)
+		}
+		if removeCount >= g.N() {
+			fmt.Fprintf(os.Stderr, "usage: removing %d nodes would remove the whole %d-node network\n", removeCount, g.N())
 			os.Exit(2)
 		}
-		gone := pickNodes(g, churn)
+		gone := pickNodes(g, removeCount)
 		rep, err := eng.Rebind(g.RemoveNodes(gone), caches...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rebind failed:", err)
@@ -404,13 +425,8 @@ func runBatch(nw topology.Network, behavior syndrome.Behavior, makeFaults func(*
 	}
 	if opt.ResultCache != nil {
 		cs := opt.ResultCache.Stats()
-		total := cs.Hits + cs.Misses
-		rate := 0.0
-		if total > 0 {
-			rate = 100 * float64(cs.Hits) / float64(total)
-		}
 		fmt.Printf("cache       %d/%d hits (%.1f%%), %d entries (cap %d), %d evictions, %d admission bypasses\n",
-			cs.Hits, total, rate, cs.Entries, cs.Capacity, cs.Evictions, cs.Bypassed)
+			cs.Hits, cs.Hits+cs.Misses, 100*cs.HitRate(), cs.Entries, cs.Capacity, cs.Evictions, cs.Bypassed)
 	}
 	if eng.Degraded() {
 		fmt.Printf("degraded    engine serves the surviving component under δ′=%d; results are stamped Stats.Degraded\n",

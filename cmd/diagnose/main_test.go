@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+// TestChurnModeError pins the churn-mode flag matrix: every
+// contradictory combination is rejected before any graph work, and
+// every coherent mode — including -churn-nodes standing alone as a
+// one-shot explicit removal — is accepted.
+func TestChurnModeError(t *testing.T) {
+	cases := []struct {
+		name    string
+		churn   int
+		flap    int
+		nodes   string
+		wantErr bool
+	}{
+		{name: "no churn flags", churn: 0, flap: 0, nodes: "", wantErr: false},
+		{name: "churn alone", churn: 2, flap: 0, nodes: "", wantErr: false},
+		{name: "flap alone", churn: 0, flap: 3, nodes: "", wantErr: false},
+		{name: "churn-nodes alone", churn: 0, flap: 0, nodes: "5,17", wantErr: false},
+		{name: "flap with churn-nodes", churn: 0, flap: 3, nodes: "5,17", wantErr: false},
+		{name: "churn with churn-nodes", churn: 2, flap: 0, nodes: "5,17", wantErr: true},
+		{name: "churn with flap", churn: 2, flap: 3, nodes: "", wantErr: true},
+		{name: "all three", churn: 2, flap: 3, nodes: "5,17", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := churnModeError(tc.churn, tc.flap, tc.nodes)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("churnModeError(%d, %d, %q) = %v, wantErr = %v",
+					tc.churn, tc.flap, tc.nodes, err, tc.wantErr)
+			}
+		})
+	}
+}

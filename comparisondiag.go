@@ -50,6 +50,7 @@ import (
 	"comparisondiag/internal/distsim"
 	"comparisondiag/internal/graph"
 	"comparisondiag/internal/schedule"
+	"comparisondiag/internal/serve"
 	"comparisondiag/internal/syndrome"
 	"comparisondiag/internal/topology"
 )
@@ -394,6 +395,29 @@ var NewShardedCampaignRuntime = campaign.NewShardedRuntime
 
 // CampaignSweepRuntime is CampaignSweep on a caller-owned runtime.
 var CampaignSweepRuntime = campaign.SweepRuntime
+
+type (
+	// Service is the diagnosis-as-a-service HTTP front end behind
+	// cmd/diagnosed: an engine registry, per-engine request coalescing
+	// into grouped DiagnoseBatch calls, streaming campaigns, and a
+	// Prometheus /metrics exporter (see docs/service.md). It implements
+	// http.Handler.
+	Service = serve.Server
+	// ServiceConfig tunes a Service (registry cap, coalescing window,
+	// batch ceiling, per-engine cache and pool sizes).
+	ServiceConfig = serve.Config
+	// ServiceSnapshot is the programmatic form of /metrics.
+	ServiceSnapshot = serve.Snapshot
+)
+
+// NewService builds a diagnosis service from cfg (zero value =
+// defaults); serve it with any http.Server and stop it with Close.
+var NewService = serve.New
+
+// ParseBehavior resolves a behaviour name ("mimic", "allzero",
+// "allone", "inverted", "random") and seed to a Behavior — the parser
+// behind cmd/diagnose -behavior and the service's JSON requests.
+var ParseBehavior = syndrome.ParseBehavior
 
 // Sentinel errors re-exported for errors.Is checks.
 var (

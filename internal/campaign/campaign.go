@@ -38,11 +38,23 @@ type Point struct {
 	Silent  int
 }
 
-// ExactRate returns the fraction of exact diagnoses.
-func (p Point) ExactRate() float64 { return float64(p.Exact) / float64(p.Trials) }
+// ExactRate returns the fraction of exact diagnoses, 0 for an empty
+// point (never NaN — rates are exported over JSON, which rejects NaN).
+func (p Point) ExactRate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Exact) / float64(p.Trials)
+}
 
-// SilentRate returns the fraction of silent misdiagnoses.
-func (p Point) SilentRate() float64 { return float64(p.Silent) / float64(p.Trials) }
+// SilentRate returns the fraction of silent misdiagnoses, 0 for an
+// empty point.
+func (p Point) SilentRate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Silent) / float64(p.Trials)
+}
 
 // Config tunes a sweep.
 type Config struct {

@@ -245,6 +245,22 @@ type RuntimeStats struct {
 	Trials []int64
 }
 
+// Occupancy returns the fraction of workers that have executed at
+// least one trial — the exporter's worker-occupancy gauge. 0 for an
+// idle or empty pool (never NaN).
+func (s RuntimeStats) Occupancy() float64 {
+	if len(s.Trials) == 0 {
+		return 0
+	}
+	busy := 0
+	for _, n := range s.Trials {
+		if n > 0 {
+			busy++
+		}
+	}
+	return float64(busy) / float64(len(s.Trials))
+}
+
 // TotalTrials sums the per-worker counts.
 func (s RuntimeStats) TotalTrials() int64 {
 	var t int64

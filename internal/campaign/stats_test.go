@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestPointRatesZeroSafe pins the division-by-zero audit on the
+// campaign side: an empty Point's rates are 0, not NaN — NaN rates
+// poison JSON encoding, which the /v1/campaign stream relies on.
+func TestPointRatesZeroSafe(t *testing.T) {
+	var p Point
+	if r := p.ExactRate(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("empty Point ExactRate = %v, want 0", r)
+	}
+	if r := p.SilentRate(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("empty Point SilentRate = %v, want 0", r)
+	}
+	if _, err := json.Marshal(map[string]float64{"exact": p.ExactRate(), "silent": p.SilentRate()}); err != nil {
+		t.Fatalf("marshalling empty-point rates: %v", err)
+	}
+	p = Point{Trials: 8, Exact: 6, Silent: 1}
+	if r := p.ExactRate(); r != 0.75 {
+		t.Fatalf("ExactRate = %v, want 0.75", r)
+	}
+	if r := p.SilentRate(); r != 0.125 {
+		t.Fatalf("SilentRate = %v, want 0.125", r)
+	}
+}
+
+// TestRuntimeStatsOccupancyZeroSafe pins the worker-occupancy gauge:
+// empty and idle pools report 0, a mixed pool the busy fraction.
+func TestRuntimeStatsOccupancyZeroSafe(t *testing.T) {
+	var zero RuntimeStats
+	if got := zero.Occupancy(); got != 0 {
+		t.Fatalf("zero RuntimeStats Occupancy = %v, want 0", got)
+	}
+	idle := RuntimeStats{Workers: 4, Trials: make([]int64, 4)}
+	if got := idle.Occupancy(); got != 0 {
+		t.Fatalf("idle pool Occupancy = %v, want 0", got)
+	}
+	mixed := RuntimeStats{Workers: 4, Trials: []int64{5, 0, 2, 0}}
+	if got := mixed.Occupancy(); got != 0.5 {
+		t.Fatalf("mixed pool Occupancy = %v, want 0.5", got)
+	}
+}

@@ -231,6 +231,17 @@ type CacheStats struct {
 	Entries, Capacity int
 }
 
+// HitRate returns Hits/(Hits+Misses) in [0, 1], and 0 for a cache that
+// has never been consulted — never NaN, so exporters may publish it
+// unconditionally.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Stats returns the cache's counters. Safe for concurrent use.
 func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()

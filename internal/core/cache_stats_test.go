@@ -1,0 +1,20 @@
+package core
+
+import "testing"
+
+// TestCacheStatsHitRateZeroSafe pins the division-by-zero audit: an
+// empty cache's derived hit rate is 0, not NaN, so exporters can
+// publish it unconditionally.
+func TestCacheStatsHitRateZeroSafe(t *testing.T) {
+	var zero CacheStats
+	if got := zero.HitRate(); got != 0 {
+		t.Fatalf("zero CacheStats HitRate = %v, want 0", got)
+	}
+	if got := (CacheStats{Hits: 3, Misses: 1}).HitRate(); got != 0.75 {
+		t.Fatalf("HitRate(3 hits, 1 miss) = %v, want 0.75", got)
+	}
+	c := NewResultCache(4)
+	if got := c.Stats().HitRate(); got != 0 {
+		t.Fatalf("fresh cache HitRate = %v, want 0", got)
+	}
+}

@@ -8,17 +8,23 @@
 package perf
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"comparisondiag/internal/bitset"
 	"comparisondiag/internal/campaign"
 	"comparisondiag/internal/core"
 	"comparisondiag/internal/graph"
+	"comparisondiag/internal/serve"
 	"comparisondiag/internal/syndrome"
 	"comparisondiag/internal/topology"
 )
@@ -716,6 +722,144 @@ func churnFlapCase(n, k int) Result {
 	})
 }
 
+// servedBatchCase measures the diagnosis service end to end over
+// loopback HTTP: hyps × 8-behaviour concurrent clients POST
+// /v1/diagnose against a live serve.Server and the op completes when
+// every response has arrived and verified. With coalesce the server's
+// window gathers all of them into one grouped DiagnoseBatch call
+// (MaxBatch = the client count, so the last arrival — not the timer —
+// triggers the flush); the off twin diagnoses each request the moment
+// it arrives. The ns/op gap is what request coalescing buys a loaded
+// server; lookups/op (read from the server's own counter) shows the
+// shared-certification + shared-final-prefix bill shrinking.
+//
+// Hypotheses are drawn by a deterministic seed scan that keeps only
+// fault sets whose solo diagnosis certifies the first part
+// (PartsScanned == 1): a certified part is fault-free, its scan is
+// behaviour-independent, and so the coalesced group's certification
+// bill does not depend on which member reached the server first —
+// keeping lookups/op exactly reproducible for benchtab -compare.
+func servedBatchCase(bits, hyps int, coalesce bool) Result {
+	nw := topology.NewHypercube(bits)
+	g := nw.Graph()
+	delta := nw.Diagnosability()
+	spec := fmt.Sprintf("q:%d", bits)
+
+	ref := core.NewEngine(nw)
+	rng := rand.New(rand.NewSource(101))
+	faultSets := make([]*bitset.Set, 0, hyps)
+	for len(faultSets) < hyps {
+		F := syndrome.RandomFaults(g.N(), delta, rng)
+		_, stats, err := ref.Diagnose(syndrome.NewLazy(F, syndrome.Mimic{}))
+		if err != nil || stats.PartsScanned != 1 {
+			continue
+		}
+		faultSets = append(faultSets, F)
+	}
+
+	type behSpec struct {
+		name string
+		seed uint64
+	}
+	behs := []behSpec{
+		{"mimic", 0}, {"all-zero", 0}, {"all-one", 0}, {"inverted", 0},
+		{"random", 1}, {"random", 2}, {"random", 3}, {"random", 4},
+	}
+	total := hyps * len(behs)
+
+	cfg := serve.Config{
+		Window:   time.Second, // fallback only; MaxBatch triggers the flush
+		MaxBatch: total,
+		CacheCap: -1, // no result cache: measure coalescing, not caching
+	}
+	if !coalesce {
+		cfg.NoCoalesce = true
+	}
+	srv := serve.New(cfg)
+	if err := srv.Preload(spec); err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	url := "http://" + ln.Addr().String() + "/v1/diagnose"
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: total}}
+
+	bodies := make([][]byte, total)
+	expected := make([][]int, total)
+	for i := range bodies {
+		F := faultSets[i/len(behs)]
+		bs := behs[i%len(behs)]
+		body, err := json.Marshal(serve.DiagnoseRequest{
+			Topology: spec, Faults: F.Members(), Behavior: bs.name, Seed: bs.seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		bodies[i] = body
+		expected[i] = F.Members()
+	}
+
+	op := func() int64 {
+		before := srv.Snapshot().SyndromeLookups
+		var wg sync.WaitGroup
+		errs := make(chan error, total)
+		for i := 0; i < total; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var dr serve.DiagnoseResponse
+				err = json.NewDecoder(resp.Body).Decode(&dr)
+				resp.Body.Close()
+				switch {
+				case err != nil:
+					errs <- err
+				case resp.StatusCode != http.StatusOK:
+					errs <- fmt.Errorf("request %d: status %d (%s)", i, resp.StatusCode, dr.Error)
+				case len(dr.Faults) != len(expected[i]):
+					errs <- fmt.Errorf("request %d: %d faults, want %d", i, len(dr.Faults), len(expected[i]))
+				default:
+					for j, id := range dr.Faults {
+						if id != expected[i][j] {
+							errs <- fmt.Errorf("request %d: misdiagnosis", i)
+							return
+						}
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			panic(err)
+		default:
+		}
+		return srv.Snapshot().SyndromeLookups - before
+	}
+	name := fmt.Sprintf("servedbatch%d/%s", total, nw.Name())
+	if !coalesce {
+		name = fmt.Sprintf("servedbatch%doff/%s", total, nw.Name())
+	}
+	return run(name, op, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
 // graphBuildCase measures CSR construction of Q_n via the Builder.
 func graphBuildCase(n int) Result {
 	return run(fmt.Sprintf("graphbuild/Q%d", n), nil, func(b *testing.B) {
@@ -846,6 +990,14 @@ func Suite() *Report {
 	rep.Results = append(rep.Results,
 		churnFlapCase(14, 16),
 	)
+	// PR 10: diagnosis-as-a-service — 64 concurrent loopback clients
+	// against cmd/diagnosed's serving stack, with the coalescing window
+	// on versus the diagnose-on-arrival twin. The on case must win on
+	// both wall time and the server-side look-up bill.
+	rep.Results = append(rep.Results,
+		servedBatchCase(14, 8, true),
+		servedBatchCase(14, 8, false),
+	)
 	return rep
 }
 
@@ -866,6 +1018,7 @@ func QuickSuite() *Report {
 		churnRebindCase(10, 4),
 		churnFlapCase(10, 4),
 		implicitEngineDiagnoseCase(10),
+		servedBatchCase(10, 2, true),
 	)
 	return rep
 }

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"comparisondiag/internal/campaign"
+	"comparisondiag/internal/core"
+)
+
+// entry is one bound engine with its serving apparatus: the persistent
+// worker pool the coalesced batches run on, the engine-level result
+// cache, and the coalescer itself. Entries are reference counted:
+// residency in the registry holds one reference and every in-flight
+// request another, so an eviction never tears the pool out from under
+// a request — the runtime closes when the last user releases.
+type entry struct {
+	key   string
+	eng   *core.Engine
+	cache *core.ResultCache
+	rt    *campaign.Runtime
+	co    *coalescer
+
+	refs atomic.Int64
+	elem *list.Element // registry LRU position; nil once evicted
+}
+
+func (e *entry) retain() { e.refs.Add(1) }
+
+// release drops one reference; the last one drains the coalescer and
+// shuts the worker pool down.
+func (e *entry) release() {
+	if e.refs.Add(-1) == 0 {
+		e.co.close()
+		e.rt.Close()
+	}
+}
+
+// registry is the bounded LRU of bound engines, keyed by normalized
+// topology spec. Binding is lazy (first request for a spec builds and
+// binds the engine) and deduplicated: concurrent first requests for
+// one spec wait for a single build instead of binding twice.
+type registry struct {
+	cap   int
+	build func(key string) (*entry, error)
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // of *entry; front = most recently used
+	building map[string]chan struct{}
+}
+
+func newRegistry(cap int, build func(string) (*entry, error)) *registry {
+	return &registry{
+		cap:      cap,
+		build:    build,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+		building: make(map[string]chan struct{}),
+	}
+}
+
+// get returns the entry for key, binding it on first use and bumping
+// it to the front of the LRU. The caller owns one reference and must
+// release() it when the request completes.
+func (r *registry) get(key string) (*entry, error) {
+	for {
+		r.mu.Lock()
+		if e, ok := r.entries[key]; ok {
+			r.lru.MoveToFront(e.elem)
+			e.retain()
+			r.mu.Unlock()
+			return e, nil
+		}
+		if ch, ok := r.building[key]; ok {
+			// Someone else is binding this spec; wait and re-check (the
+			// build may also have failed, in which case we retry it).
+			r.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		r.building[key] = ch
+		r.mu.Unlock()
+
+		e, err := r.build(key)
+
+		r.mu.Lock()
+		delete(r.building, key)
+		close(ch)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		e.refs.Store(1) // the residency reference
+		e.elem = r.lru.PushFront(e)
+		r.entries[key] = e
+		e.retain() // the caller's reference
+		evicted := r.evictOverCapLocked()
+		r.mu.Unlock()
+		for _, ev := range evicted {
+			ev.release()
+		}
+		return e, nil
+	}
+}
+
+// evictOverCapLocked trims the LRU tail down to capacity. Caller holds
+// mu; the returned entries must be released outside the lock (the last
+// reference shuts a worker pool down, which must not happen under mu).
+func (r *registry) evictOverCapLocked() []*entry {
+	var evicted []*entry
+	for r.lru.Len() > r.cap {
+		back := r.lru.Back()
+		ev := back.Value.(*entry)
+		r.lru.Remove(back)
+		ev.elem = nil
+		delete(r.entries, ev.key)
+		evicted = append(evicted, ev)
+	}
+	return evicted
+}
+
+// snapshot lists the resident entries, most recently used first.
+func (r *registry) snapshot() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	es := make([]*entry, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		es = append(es, el.Value.(*entry))
+	}
+	return es
+}
+
+// drain flushes every resident coalescer and refuses their later
+// submissions — the first step of a graceful shutdown.
+func (r *registry) drain() {
+	for _, e := range r.snapshot() {
+		e.co.close()
+	}
+}
+
+// closeAll evicts everything; pools shut down as references drain.
+func (r *registry) closeAll() {
+	r.mu.Lock()
+	es := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		es = append(es, e)
+	}
+	r.entries = make(map[string]*entry)
+	r.lru.Init()
+	for _, e := range es {
+		e.elem = nil
+	}
+	r.mu.Unlock()
+	for _, e := range es {
+		e.release()
+	}
+}

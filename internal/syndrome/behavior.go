@@ -1,5 +1,10 @@
 package syndrome
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Behavior models how a *faulty* tester answers a comparison test. The
 // MM model places no constraint on these answers, so diagnosis
 // algorithms must be correct under every Behavior; the test suite
@@ -83,6 +88,28 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	return x ^ (x >> 31)
+}
+
+// ParseBehavior resolves a behaviour by name — the inverse of
+// Behavior.Name for the stock adversaries, accepting both the hyphened
+// display names ("all-zero") and the bare CLI spellings ("allzero").
+// seed parameterises Random and is ignored by the deterministic
+// behaviours. The empty name resolves to Mimic, the hardest adversary
+// and the default of cmd/diagnose and the diagnosis service.
+func ParseBehavior(name string, seed uint64) (Behavior, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "mimic":
+		return Mimic{}, nil
+	case "allzero", "all-zero":
+		return AllZero{}, nil
+	case "allone", "all-one":
+		return AllOne{}, nil
+	case "inverted":
+		return Inverted{}, nil
+	case "random":
+		return Random{Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("syndrome: unknown behaviour %q (want allzero, allone, mimic, inverted or random)", name)
 }
 
 // AllBehaviors returns one instance of every behaviour, for exhaustive

@@ -4,8 +4,9 @@
 # docs/testing.md), the race detector over the packages that exercise
 # concurrency (parallel part certification with sharded look-up
 # counters, campaign/distsim pools, Diagnose-during-Rebind churn,
-# graph probes), and the perf-trajectory gate: every committed
-# BENCH_<n>.json — BENCH_9 being the latest — must not regress
+# graph probes, the serve coalescer and its observability pollers),
+# and the perf-trajectory gate: every committed
+# BENCH_<n>.json — BENCH_10 being the latest — must not regress
 # lookups/op on any case shared with its predecessor, nor start
 # allocating on a case its predecessor ran at 0 allocs/op (both are
 # deterministic; ns/op and bytes/op are reported but not gated).
@@ -15,7 +16,7 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/core/ ./internal/campaign/ ./internal/distsim/ ./internal/graph/
+go test -race ./internal/core/ ./internal/campaign/ ./internal/distsim/ ./internal/graph/ ./internal/serve/
 
 prev=""
 for f in $(ls BENCH_*.json 2>/dev/null | sort -V); do
